@@ -1,0 +1,22 @@
+"""Shared benchmark helpers.
+
+Every benchmark regenerates one of the paper's tables/figures via the
+experiment registry, times it once (these are experiments, not
+micro-kernels), prints the regenerated rows, and asserts the shape
+properties the paper's artifact exhibits.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, func):
+    """Time a heavy experiment a single time and return its result."""
+    return benchmark.pedantic(func, rounds=1, iterations=1, warmup_rounds=0)
+
+
+def report(result):
+    """Print the regenerated table (shown with pytest -s; captured otherwise)."""
+    print()
+    print(result.render())

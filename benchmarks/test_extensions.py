@@ -1,0 +1,64 @@
+"""Extension benches: learned iteration policy and failure injection."""
+
+from conftest import report, run_once
+from repro.experiments.extensions import run_ext_learned_policy, run_ext_robustness
+
+
+def test_ext_learned_policy(benchmark):
+    result = run_once(benchmark, run_ext_learned_policy)
+    report(result)
+    table = result.column("table_iter")
+    learned = result.column("learned_iter")
+    # Both policies fit the same profile: they must broadly agree.
+    agree_within_one = sum(
+        1 for t, l in zip(table, learned) if abs(t - l) <= 1
+    ) / len(table)
+    assert agree_within_one > 0.7
+    assert all(1 <= l <= 6 for l in learned)
+
+
+def test_ext_robustness(benchmark):
+    result = run_once(benchmark, run_ext_robustness)
+    report(result)
+    idx = {c: i for i, c in enumerate(result.columns)}
+    clean, mid, high = result.rows
+    # Without outliers the pipelines agree; with them the robust one
+    # stays centimeter-grade while the plain one collapses.
+    assert abs(clean[idx["plain_rel_err_m"]] - clean[idx["robust_rel_err_m"]]) < 0.01
+    assert high[idx["plain_rel_err_m"]] > 10 * high[idx["robust_rel_err_m"]]
+    assert high[idx["robust_rel_err_m"]] < 0.10
+
+
+def test_ext_wordlength(benchmark):
+    from repro.experiments.extensions import run_ext_wordlength
+
+    result = run_once(benchmark, run_ext_wordlength)
+    report(result)
+    errors = dict(zip(result.column("fraction_bits"), result.column("relative_error")))
+    # The classic curve: error falls by orders of magnitude with bits,
+    # and the RTL's Q15.16 point is already accurate.
+    assert errors[4] > 100 * errors[20]
+    assert errors[16] < 0.1
+
+
+def test_ext_realtime_margin(benchmark):
+    from repro.experiments.extensions import run_ext_realtime_margin
+
+    result = run_once(benchmark, run_ext_realtime_margin)
+    report(result)
+    margins = result.column("margin_x")
+    assert min(margins) > 2.0  # every design, every trace: real time
+
+
+def test_ext_accuracy_table(benchmark):
+    from repro.experiments.extensions import run_ext_accuracy_table
+
+    result = run_once(benchmark, run_ext_accuracy_table)
+    report(result)
+    rows = {row[0]: row for row in result.rows}
+    idx = {c: i for i, c in enumerate(result.columns)}
+    euroc = [v[idx["ate_cm"]] for k, v in rows.items() if k.startswith("euroc")]
+    kitti = [v[idx["ate_cm"]] for k, v in rows.items() if k.startswith("kitti")]
+    assert len(euroc) == 5 and len(kitti) == 11  # the full catalog
+    assert max(euroc) < 10.0  # drone: centimeters
+    assert max(kitti) < 100.0  # car: sub-meter over the cut

@@ -1,0 +1,17 @@
+"""Fig. 12: more NLS iterations -> lower RMSE (KITTI profiling)."""
+
+from conftest import report, run_once
+from repro.experiments.fig11_12 import run_fig12
+
+
+def test_fig12_iterations_vs_rmse(benchmark):
+    result = run_once(benchmark, run_fig12)
+    report(result)
+    rmses = result.column("rmse_m")
+    # Decreasing, saturating trend: 1 iteration is much worse than 6,
+    # and the tail flattens.
+    assert rmses[0] > 2.0 * rmses[-1]
+    assert rmses[-2] < 1.8 * rmses[-1]
+    benchmark.extra_info["rmse_by_cap"] = dict(
+        zip(result.column("iteration_cap"), [round(r, 3) for r in rmses])
+    )

@@ -1,0 +1,19 @@
+"""Fig. 14: latency-vs-power Pareto frontier and its validation."""
+
+from conftest import report, run_once
+from repro.experiments.fig13_14 import run_fig14
+
+
+def test_fig14_pareto_frontier(benchmark):
+    result = run_once(benchmark, run_fig14)
+    report(result)
+    latencies = result.column("latency_ms")
+    powers = result.column("power_w")
+    assert len(result.rows) >= 5
+    assert latencies == sorted(latencies)
+    assert all(b <= a for a, b in zip(powers, powers[1:]))
+    # The paper's Sec. 7.2 span: several-x latency and ~2x power ranges.
+    assert latencies[-1] / latencies[0] > 2.0
+    assert powers[0] / powers[-1] > 1.4
+    # The perturbation validation must have passed.
+    assert "True" in result.notes

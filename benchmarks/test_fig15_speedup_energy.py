@@ -1,0 +1,25 @@
+"""Fig. 15: speedup / energy reduction of the Pareto designs (KITTI)."""
+
+import numpy as np
+
+from conftest import report, run_once
+from repro.experiments.fig15_16 import run_fig15
+
+
+def test_fig15_speedup_energy(benchmark):
+    result = run_once(benchmark, run_fig15)
+    report(result)
+    speedup_intel = np.array(result.column("speedup_vs_intel"))
+    speedup_arm = np.array(result.column("speedup_vs_arm"))
+    energy_intel = np.array(result.column("energy_red_vs_intel"))
+    energy_arm = np.array(result.column("energy_red_vs_arm"))
+    # Every design wins on both axes against both baselines.
+    assert speedup_intel.min() > 1.0 and speedup_arm.min() > 1.0
+    assert energy_intel.min() > 10.0 and energy_arm.min() > 5.0
+    # Paper's Fig. 15 relations: the Arm speedup exceeds the Intel
+    # speedup, while the Intel energy reduction exceeds the Arm one.
+    assert np.all(speedup_arm > speedup_intel)
+    assert np.all(energy_intel > energy_arm)
+    # Faster designs achieve higher speedups (frontier is sorted by
+    # increasing latency).
+    assert speedup_intel[0] > speedup_intel[-1]

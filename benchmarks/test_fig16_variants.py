@@ -1,0 +1,22 @@
+"""Fig. 16: High-Perf / Low-Power averages over EuRoC + KITTI."""
+
+from conftest import report, run_once
+from repro.experiments.fig15_16 import run_fig16
+
+
+def test_fig16_variants(benchmark):
+    result = run_once(benchmark, run_fig16)
+    report(result)
+    rows = {row[0]: row for row in result.rows}
+    hp, lp = rows["High-Perf"], rows["Low-Power"]
+    idx = {c: i for i, c in enumerate(result.columns)}
+    # High-Perf is faster than Low-Power against both baselines.
+    assert hp[idx["speedup_intel"]] > lp[idx["speedup_intel"]]
+    assert hp[idx["speedup_arm"]] > lp[idx["speedup_arm"]]
+    # Paper bands (headline: 6.2x/74x Intel, 39.7x/14.6x Arm for HP).
+    assert 4.0 < hp[idx["speedup_intel"]] < 10.0
+    assert 25.0 < hp[idx["speedup_arm"]] < 60.0
+    assert 50.0 < hp[idx["energy_red_intel"]] < 150.0
+    assert 9.0 < hp[idx["energy_red_arm"]] < 30.0
+    benchmark.extra_info["high_perf"] = [round(v, 1) for v in hp[1:]]
+    benchmark.extra_info["low_power"] = [round(v, 1) for v in lp[1:]]

@@ -1,0 +1,18 @@
+"""Sec. 3.2 ablation: the cost-model-driven blocking choice."""
+
+from conftest import report, run_once
+from repro.experiments.sec3x import run_sec32
+
+
+def test_sec32_mdfg_blocking(benchmark):
+    result = run_once(benchmark, run_sec32)
+    report(result)
+    # The D-type Schur (diagonal landmark elimination) wins, and by a
+    # wide margin over both the direct solve and dense-split Schur.
+    assert result.rows[0][0] == "schur-diagonal-landmarks"
+    strategies = dict((row[0], row[1]) for row in result.rows)
+    assert strategies["direct"] / strategies["schur-diagonal-landmarks"] > 3.0
+    dense_same_split = next(
+        cost for name, cost in strategies.items() if name == "schur-dense-p250"
+    )
+    assert dense_same_split / strategies["schur-diagonal-landmarks"] > 5.0

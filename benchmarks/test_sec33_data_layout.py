@@ -1,0 +1,16 @@
+"""Sec. 3.3: the compact S-matrix layout comparison."""
+
+from conftest import report, run_once
+from repro.experiments.sec3x import run_sec33
+
+
+def test_sec33_data_layout(benchmark):
+    result = run_once(benchmark, run_sec33)
+    report(result)
+    rows = {row[0]: row for row in result.rows}
+    # The compact split wins, saving ~78% vs dense (the paper's number)
+    # and beating symmetric CSR.
+    assert result.rows[0][0] == "compact-si-sc"
+    assert 75.0 < rows["compact-si-sc"][2] < 82.0
+    assert rows["compact-si-sc"][1] < rows["csr-symmetric"][1]
+    assert rows["symmetric"][2] < 55.0  # symmetry alone only halves it

@@ -1,0 +1,13 @@
+"""Sec. 7.3: generator efficiency vs the exhaustive FPGA flow."""
+
+from conftest import report, run_once
+from repro.experiments.sec7x import run_sec73
+
+
+def test_sec73_generator_efficiency(benchmark):
+    result = run_once(benchmark, run_sec73)
+    report(result)
+    values = dict(zip(result.column("quantity"), result.column("value")))
+    assert values["design space points"] == 90_000
+    assert 14.0 < float(values["exhaustive FPGA-flow estimate (years)"]) < 17.0
+    assert float(values["our generator (seconds)"]) < 3.0

@@ -1,0 +1,22 @@
+"""Sec. 7.5: comparison with prior accelerators and the HLS Cholesky."""
+
+from conftest import report, run_once
+from repro.experiments.sec7x import run_sec75
+
+
+def test_sec75_prior_accelerators(benchmark):
+    result = run_once(benchmark, run_sec75)
+    report(result)
+    rows = {row[0]: row for row in result.rows}
+    pi_ba = next(v for k, v in rows.items() if k.startswith("pi-BA"))
+    bax = next(v for k, v in rows.items() if k.startswith("BAX"))
+    zhang = next(v for k, v in rows.items() if k.startswith("Zhang"))
+    pisces = next(v for k, v in rows.items() if k.startswith("PISCES"))
+    hls = next(v for k, v in rows.items() if "Cholesky" in k)
+    # Paper factors: 137x/132x, 9x/44% less, >20x, 5.4x/3x energy, 16.4x.
+    assert 100 < pi_ba[1] < 180 and 100 < pi_ba[2] < 180
+    assert 6 < bax[1] < 13
+    assert zhang[1] > 15
+    assert 4 < pisces[1] < 8
+    assert pisces[2] < 1.0  # PISCES uses less energy (it is the low-power one)
+    assert 10 < hls[1] < 25

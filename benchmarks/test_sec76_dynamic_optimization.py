@@ -1,0 +1,33 @@
+"""Sec. 7.6: dynamic optimization energy savings and accuracy impact."""
+
+import numpy as np
+
+from conftest import report, run_once
+from repro.experiments.sec76 import run_sec76, run_sec76_combined
+
+
+def test_sec76_dynamic_optimization(benchmark):
+    result = run_once(benchmark, run_sec76)
+    report(result)
+    savings = np.array(result.column("energy_saving_pct"))
+    deltas = np.array(result.column("accuracy_delta_cm"))
+    # Double-digit savings on average (paper: 20.8-21.6% for High-Perf).
+    assert savings.mean() > 10.0
+    assert savings.min() > 0.0
+    # Accuracy is essentially unaffected (paper: at most 0.01 cm worse,
+    # sometimes better); allow a fraction of a centimeter either way.
+    assert np.abs(deltas).max() < 1.0
+    benchmark.extra_info["mean_saving_pct"] = round(float(savings.mean()), 1)
+
+
+def test_sec76_combined_with_dynamic(benchmark):
+    result = run_once(benchmark, run_sec76_combined)
+    report(result)
+    idx = {c: i for i, c in enumerate(result.columns)}
+    rows = {row[0]: row for row in result.rows}
+    hp, lp = rows["High-Perf"], rows["Low-Power"]
+    # With dynamic optimization both variants still beat both CPUs, and
+    # High-Perf remains ahead of Low-Power.
+    assert hp[idx["speedup_intel"]] > lp[idx["speedup_intel"]] > 1.0
+    assert hp[idx["energy_red_intel"]] > 40.0
+    assert hp[idx["energy_red_arm"]] > 9.0

@@ -1,0 +1,20 @@
+"""Sec. 7.7a: generalization to other FPGA boards."""
+
+from conftest import report, run_once
+from repro.experiments.sec7x import run_sec77_fpgas
+
+
+def test_sec77_other_fpgas(benchmark):
+    result = run_once(benchmark, run_sec77_fpgas)
+    report(result)
+    idx = {c: i for i, c in enumerate(result.columns)}
+    kintex, zc706, virtex = result.rows
+    # Bigger boards admit designs at least as fast.
+    assert kintex[idx["latency_ms"]] >= zc706[idx["latency_ms"]]
+    assert zc706[idx["latency_ms"]] >= virtex[idx["latency_ms"]]
+    # All boards deliver multi-x speedups and large energy reductions
+    # over the Intel baseline (paper: 6.6x-10.2x, >100x energy).
+    for row in result.rows:
+        assert row[idx["speedup_intel"]] > 4.0
+        assert row[idx["energy_red_intel"]] > 40.0
+        assert row[idx["speedup_arm"]] > 25.0

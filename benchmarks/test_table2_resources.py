@@ -1,0 +1,22 @@
+"""Tbl. 2: resource consumption of the High-Perf / Low-Power designs."""
+
+from conftest import report, run_once
+from repro.experiments.fig15_16 import run_tbl2
+
+
+def test_table2_resources(benchmark):
+    result = run_once(benchmark, run_tbl2)
+    report(result)
+    idx = {c: i for i, c in enumerate(result.columns)}
+    hp, lp = result.rows
+    # High-Perf consumes more of every resource and has larger knobs.
+    for column in ("lut_pct", "ff_pct", "bram_pct", "dsp_pct", "nd", "nm", "s"):
+        assert hp[idx[column]] > lp[idx[column]]
+    # Both designs fit the ZC706.
+    for row in result.rows:
+        for column in ("lut_pct", "ff_pct", "bram_pct", "dsp_pct"):
+            assert row[idx[column]] <= 100.0
+    # DSP is among the most demanded resources (the paper's limiter).
+    assert hp[idx["dsp_pct"]] == max(
+        hp[idx[c]] for c in ("lut_pct", "ff_pct", "bram_pct", "dsp_pct")
+    )

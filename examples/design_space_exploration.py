@@ -1,0 +1,61 @@
+"""Design-space exploration: knob sweeps, Pareto frontier, other boards.
+
+Reproduces the designer-facing workflow of Sec. 5 / 7.2 / 7.3:
+  1. sweep each customization knob and watch the latency-resource trade;
+  2. sweep the latency budget to trace the Pareto frontier (Fig. 14),
+     validating it by perturbation;
+  3. pack the biggest design onto three different FPGA boards.
+
+Run: python examples/design_space_exploration.py
+"""
+
+from repro.hw import DEFAULT_RESOURCE_MODEL, HardwareConfig, LatencyModel, ZC706
+from repro.hw.fpga import KINTEX7_160T, VIRTEX7_690T
+from repro.synth import (
+    biggest_fit_design,
+    design_space_metrics,
+    pareto_frontier,
+    perturb_and_validate,
+)
+
+
+def main() -> None:
+    latency = LatencyModel()
+
+    print("-- knob sweep (others fixed mid-range) --")
+    print(f"{'knob':>5s} {'value':>5s} {'time ms':>8s} {'DSP %':>6s}")
+    for knob in ("nd", "nm", "s"):
+        for value in (1, 8, 20):
+            config = HardwareConfig(
+                nd=value if knob == "nd" else 15,
+                nm=value if knob == "nm" else 12,
+                s=value if knob == "s" else 40,
+            )
+            dsp = DEFAULT_RESOURCE_MODEL.utilization(config, ZC706)["dsp"]
+            print(f"{knob:>5s} {value:5d} {latency.seconds(config) * 1e3:8.1f} "
+                  f"{100 * dsp:6.1f}")
+
+    print("\n-- Pareto frontier (latency budget sweep) --")
+    frontier = pareto_frontier()
+    for point in frontier[:: max(len(frontier) // 8, 1)]:
+        print(f"  {point.latency_s * 1e3:6.1f} ms  {point.power_w:5.2f} W  "
+              f"(nd={point.config.nd}, nm={point.config.nm}, s={point.config.s})")
+    perturbed, dominated = perturb_and_validate(frontier)
+    print(f"  perturbation validation: {len(perturbed)} neighbours, "
+          f"all dominated by the frontier: {dominated}")
+
+    print("\n-- biggest design per board (Equ. 12) --")
+    for board in (KINTEX7_160T, ZC706, VIRTEX7_690T):
+        design = biggest_fit_design(board)
+        print(f"  {board.name:40s} {design.latency_s * 1e3:6.2f} ms  "
+              f"(nd={design.config.nd}, nm={design.config.nm}, s={design.config.s})")
+
+    metrics = design_space_metrics()
+    print(f"\n-- generator efficiency --")
+    print(f"  {metrics.num_designs:,} designs; exhaustive FPGA flow "
+          f"~{metrics.exhaustive_flow_years:.0f} years; our generator "
+          f"{metrics.generator_seconds * 1e3:.0f} ms")
+
+
+if __name__ == "__main__":
+    main()

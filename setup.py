@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+This offline environment ships setuptools but not ``wheel``, so PEP 517
+editable installs (which build an editable wheel) fail. With a setup.py
+present, ``pip install -e . --no-build-isolation`` falls back to the
+legacy ``setup.py develop`` path, which works without wheel.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,69 @@
+"""Archytas reproduction: accelerator synthesis for robotic localization.
+
+The public API mirrors the paper's pipeline (Fig. 1):
+
+* describe constraints with :class:`repro.DesignSpec` and call
+  :func:`repro.synthesize` to obtain a concrete accelerator design;
+* run the localization algorithm itself with
+  :class:`repro.SlidingWindowEstimator` over synthetic sequences from
+  :func:`repro.make_euroc_sequence` / :func:`repro.make_kitti_sequence`;
+* attach the run-time optimizer via :class:`repro.RuntimeController`;
+* regenerate any of the paper's results through
+  :mod:`repro.experiments`.
+
+See README.md for a guided tour and DESIGN.md for the system inventory.
+"""
+
+from repro.data import (
+    SequenceConfig,
+    make_euroc_sequence,
+    make_kitti_sequence,
+    make_sequence,
+)
+from repro.data.stats import WindowStats
+from repro.hw import HardwareConfig, ZC706, KINTEX7_160T, VIRTEX7_690T
+from repro.runtime import IterationTable, RuntimeController, build_reconfiguration_table
+from repro.slam import (
+    EstimatorConfig,
+    SlidingWindowEstimator,
+    absolute_trajectory_error,
+)
+from repro.synth import (
+    DesignSpec,
+    Objective,
+    SynthesisResult,
+    biggest_fit_design,
+    high_perf_design,
+    low_power_design,
+    pareto_frontier,
+    synthesize,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SequenceConfig",
+    "make_euroc_sequence",
+    "make_kitti_sequence",
+    "make_sequence",
+    "WindowStats",
+    "HardwareConfig",
+    "ZC706",
+    "KINTEX7_160T",
+    "VIRTEX7_690T",
+    "IterationTable",
+    "RuntimeController",
+    "build_reconfiguration_table",
+    "EstimatorConfig",
+    "SlidingWindowEstimator",
+    "absolute_trajectory_error",
+    "DesignSpec",
+    "Objective",
+    "SynthesisResult",
+    "biggest_fit_design",
+    "high_perf_design",
+    "low_power_design",
+    "pareto_frontier",
+    "synthesize",
+    "__version__",
+]

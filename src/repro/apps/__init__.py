@@ -1,0 +1,39 @@
+"""Non-SLAM MAP applications (Sec. 7.7).
+
+MAP/NLS estimation is not SLAM-specific: the paper demonstrates
+Archytas on two more robotic workloads, and so do we — each implemented
+as a real solver on synthetic data plus a workload adapter that lets the
+synthesizer generate an accelerator for it:
+
+* :mod:`curve_fitting` — smooth trajectory fitting for motion planning
+  (timed-elastic-band style waypoint smoothing);
+* :mod:`pose_estimation` — 6-DoF camera pose from 2D-3D
+  correspondences (the AR anchor-tracking workload).
+"""
+
+from repro.apps.nls import GenericNlsProblem, gauss_newton_lm
+from repro.apps.curve_fitting import (
+    CurveFittingProblem,
+    make_curve_fitting_problem,
+    solve_curve_fitting,
+    curve_fitting_workload,
+)
+from repro.apps.pose_estimation import (
+    PoseEstimationProblem,
+    make_pose_estimation_problem,
+    solve_pose_estimation,
+    pose_estimation_workload,
+)
+
+__all__ = [
+    "GenericNlsProblem",
+    "gauss_newton_lm",
+    "CurveFittingProblem",
+    "make_curve_fitting_problem",
+    "solve_curve_fitting",
+    "curve_fitting_workload",
+    "PoseEstimationProblem",
+    "make_pose_estimation_problem",
+    "solve_pose_estimation",
+    "pose_estimation_workload",
+]

@@ -1,0 +1,135 @@
+"""Smooth curve fitting for motion planning (Sec. 7.7).
+
+The planner workload of [18, 30]: smooth a noisy waypoint sequence into
+a dynamically-feasible 2D path. The decision variables are the control
+points of a uniform cubic B-spline; the NLS objective balances waypoint
+attachment against curvature (smoothness) penalties — structurally the
+same MAP estimation Archytas accelerates, with a different residual.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.stats import WindowStats
+from repro.errors import ConfigurationError
+from repro.apps.nls import GenericNlsProblem, NlsSolution, gauss_newton_lm
+from repro.utils.rng import rng_from_seed
+
+
+def _bspline_basis(t: float) -> np.ndarray:
+    """Uniform cubic B-spline basis weights for local parameter t in [0,1)."""
+    return np.array(
+        [
+            (1 - t) ** 3,
+            3 * t**3 - 6 * t**2 + 4,
+            -3 * t**3 + 3 * t**2 + 3 * t + 1,
+            t**3,
+        ]
+    ) / 6.0
+
+
+@dataclass
+class CurveFittingProblem:
+    """One planning instance: waypoints to smooth.
+
+    Attributes:
+        waypoints: (N, 2) noisy waypoints along the intended path.
+        times: (N,) spline parameters of the waypoints (in control-point
+            units; waypoint i attaches at spline position times[i]).
+        num_control_points: decision-variable count (x and y each).
+        smoothness_weight: curvature penalty weight.
+    """
+
+    waypoints: np.ndarray
+    times: np.ndarray
+    num_control_points: int
+    smoothness_weight: float = 2.0
+    true_path: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        self.waypoints = np.asarray(self.waypoints, dtype=float).reshape(-1, 2)
+        self.times = np.asarray(self.times, dtype=float).ravel()
+        if self.times.size != len(self.waypoints):
+            raise ConfigurationError("one time per waypoint required")
+        if self.num_control_points < 6:
+            raise ConfigurationError("need at least 6 control points")
+
+    def evaluate(self, control: np.ndarray, t: float) -> np.ndarray:
+        """Point on the spline at parameter t given flat control vector."""
+        control = control.reshape(self.num_control_points, 2)
+        segment = min(int(t), self.num_control_points - 4)
+        local = t - segment
+        return _bspline_basis(local) @ control[segment : segment + 4]
+
+    def residual(self, control: np.ndarray) -> np.ndarray:
+        """Waypoint attachment + second-difference smoothness residuals."""
+        points = control.reshape(self.num_control_points, 2)
+        attach = np.concatenate(
+            [self.evaluate(control, t) - w for t, w in zip(self.times, self.waypoints)]
+        )
+        curvature = np.sqrt(self.smoothness_weight) * (
+            points[2:] - 2 * points[1:-1] + points[:-2]
+        )
+        return np.concatenate([attach, curvature.ravel()])
+
+    def initial_guess(self) -> np.ndarray:
+        """Linear interpolation of the waypoints onto the control grid."""
+        grid = np.linspace(0.0, self.times[-1], self.num_control_points)
+        x = np.interp(grid, self.times, self.waypoints[:, 0])
+        y = np.interp(grid, self.times, self.waypoints[:, 1])
+        return np.column_stack([x, y]).ravel()
+
+
+def make_curve_fitting_problem(
+    num_waypoints: int = 60,
+    num_control_points: int = 24,
+    noise: float = 0.15,
+    seed: int = 0,
+) -> CurveFittingProblem:
+    """Synthesize a planning instance along a smooth reference path."""
+    rng = rng_from_seed(seed)
+    span = num_control_points - 3.0  # valid spline parameter range
+    times = np.linspace(0.1, span - 0.1, num_waypoints)
+    phase = rng.uniform(0, 2 * np.pi)
+    reference = np.column_stack(
+        [
+            2.0 * times,
+            4.0 * np.sin(0.35 * times + phase) + 1.5 * np.sin(0.11 * times),
+        ]
+    )
+    noisy = reference + rng.normal(scale=noise, size=reference.shape)
+    return CurveFittingProblem(
+        waypoints=noisy,
+        times=times,
+        num_control_points=num_control_points,
+        true_path=reference,
+    )
+
+
+def solve_curve_fitting(
+    problem: CurveFittingProblem, max_iterations: int = 25
+) -> NlsSolution:
+    """Fit the spline with the generic LM solver (numeric Jacobian)."""
+    nls = GenericNlsProblem(residual=problem.residual, x0=problem.initial_guess())
+    return gauss_newton_lm(nls, max_iterations=max_iterations)
+
+
+def curve_fitting_workload() -> tuple[WindowStats, int]:
+    """The workload adapter for the synthesizer (Sec. 7.7).
+
+    The spline problem maps onto the template as: "features" are the
+    waypoint attachment residuals (each couples a handful of control
+    points, like an observation couples poses), the retained dense block
+    is the control-point system. Returns (stats, iterations).
+    """
+    stats = WindowStats(
+        num_features=240,
+        avg_observations=2.0,
+        num_keyframes=4,
+        num_marginalized=8,
+        num_observations=480,
+    )
+    return stats, 5

@@ -1,0 +1,104 @@
+"""A generic dense Levenberg-Marquardt solver for the non-SLAM apps.
+
+The SLAM estimator has its own structured solver; the Sec. 7.7 apps are
+small enough that a dense LM over a user-supplied residual/Jacobian pair
+suffices — and it reuses the same Cholesky kernel the hardware mirrors.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import SolverError
+from repro.linalg.cholesky import cholesky_evaluate_update, solve_cholesky
+
+
+@dataclass
+class GenericNlsProblem:
+    """min_x 0.5 ||r(x)||^2 with analytic or numeric Jacobian.
+
+    Attributes:
+        residual: x -> r(x), any output dimension.
+        jacobian: x -> dr/dx; if None, central differences are used.
+        x0: initial estimate.
+    """
+
+    residual: Callable[[np.ndarray], np.ndarray]
+    x0: np.ndarray
+    jacobian: Callable[[np.ndarray], np.ndarray] | None = None
+
+    def __post_init__(self) -> None:
+        self.x0 = np.asarray(self.x0, dtype=float).ravel()
+
+    def numeric_jacobian(self, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+        r0 = self.residual(x)
+        jac = np.zeros((r0.size, x.size))
+        for i in range(x.size):
+            dx = np.zeros_like(x)
+            dx[i] = eps
+            jac[:, i] = (self.residual(x + dx) - self.residual(x - dx)) / (2 * eps)
+        return jac
+
+
+@dataclass
+class NlsSolution:
+    x: np.ndarray
+    cost: float
+    iterations: int
+    cost_history: list[float] = field(default_factory=list)
+    converged: bool = False
+
+
+def gauss_newton_lm(
+    problem: GenericNlsProblem,
+    max_iterations: int = 30,
+    initial_damping: float = 1e-4,
+    cost_tolerance: float = 1e-10,
+) -> NlsSolution:
+    """Dense LM with the standard multiplicative damping schedule."""
+    x = problem.x0.copy()
+    damping = initial_damping
+    r = problem.residual(x)
+    cost = 0.5 * float(r @ r)
+    history = [cost]
+    iterations = 0
+    converged = False
+    for _ in range(max_iterations):
+        iterations += 1
+        jac = (
+            problem.jacobian(x) if problem.jacobian is not None
+            else problem.numeric_jacobian(x)
+        )
+        hessian = jac.T @ jac
+        gradient = -jac.T @ r
+        try:
+            factor, _ = cholesky_evaluate_update(
+                hessian + damping * np.eye(x.size), jitter=1e-12
+            )
+            step = solve_cholesky(factor, gradient)
+        except SolverError:
+            damping *= 10.0
+            history.append(cost)
+            continue
+        candidate = x + step
+        r_new = problem.residual(candidate)
+        cost_new = 0.5 * float(r_new @ r_new)
+        if np.isfinite(cost_new) and cost_new < cost:
+            relative_drop = (cost - cost_new) / max(cost, 1e-300)
+            x, r, cost = candidate, r_new, cost_new
+            damping = max(damping * 0.3, 1e-12)
+            history.append(cost)
+            if relative_drop < cost_tolerance:
+                converged = True
+                break
+        else:
+            damping *= 10.0
+            history.append(cost)
+            if damping > 1e14:
+                break
+    return NlsSolution(
+        x=x, cost=cost, iterations=iterations, cost_history=history, converged=converged
+    )

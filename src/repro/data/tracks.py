@@ -1,0 +1,142 @@
+"""Feature-tracking simulation.
+
+Emulates the sensing front-end the paper's host runs: at every keyframe
+the tracker keeps following landmarks it already tracks (when still
+visible), tops the set up to ``max_features`` with new detections, and
+reports pixel observations corrupted by white measurement noise. Track
+continuity is what gives the window its characteristic statistics —
+roughly 10x more feature points than keyframes and several observations
+per feature (the paper's ``No``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.geometry.camera import PinholeCamera
+from repro.geometry.se3 import SE3
+
+
+@dataclass
+class TrackerConfig:
+    """Front-end tuning knobs.
+
+    Attributes:
+        max_features: feature budget per keyframe (detector cap).
+        pixel_sigma: measurement noise std [px].
+        drop_probability: chance an existing track is lost per frame
+            even while visible (occlusion / matching failure).
+        min_track_length: tracks observed fewer times are discarded when
+            a window is assembled (they carry too little constraint).
+        outlier_probability: chance an observation is a gross mismatch
+            (the pixel is replaced by a uniformly random image location)
+            — the failure mode robust kernels must survive.
+    """
+
+    max_features: int = 200
+    pixel_sigma: float = 1.0
+    drop_probability: float = 0.05
+    min_track_length: int = 2
+    outlier_probability: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.max_features < 1:
+            raise ConfigurationError("max_features must be >= 1")
+        if self.pixel_sigma < 0:
+            raise ConfigurationError("pixel_sigma must be non-negative")
+        if not 0.0 <= self.drop_probability < 1.0:
+            raise ConfigurationError("drop_probability must be in [0, 1)")
+        if not 0.0 <= self.outlier_probability < 1.0:
+            raise ConfigurationError("outlier_probability must be in [0, 1)")
+
+
+@dataclass
+class FrameObservations:
+    """All feature observations of one keyframe: feature id -> pixel."""
+
+    frame_id: int
+    pixels: dict[int, np.ndarray] = field(default_factory=dict)
+
+    @property
+    def num_features(self) -> int:
+        return len(self.pixels)
+
+
+def visible_landmark_indices(
+    camera: PinholeCamera, pose: SE3, landmarks: np.ndarray
+) -> np.ndarray:
+    """Vectorized visibility test: indices of landmarks inside the image."""
+    points_c = (landmarks - pose.translation) @ pose.rotation
+    z = points_c[:, 2]
+    with np.errstate(divide="ignore", invalid="ignore"):
+        u = camera.fx * points_c[:, 0] / z + camera.cx
+        v = camera.fy * points_c[:, 1] / z + camera.cy
+    ok = (
+        (z >= camera.min_depth)
+        & (u >= 0.0)
+        & (u < camera.width)
+        & (v >= 0.0)
+        & (v < camera.height)
+    )
+    return np.flatnonzero(ok)
+
+
+class FeatureTracker:
+    """Stateful simulated tracker over a fixed landmark field."""
+
+    def __init__(
+        self,
+        camera: PinholeCamera,
+        landmarks: np.ndarray,
+        config: TrackerConfig,
+        rng: np.random.Generator,
+    ) -> None:
+        self.camera = camera
+        self.landmarks = np.asarray(landmarks, dtype=float).reshape(-1, 3)
+        self.config = config
+        self._rng = rng
+        self._active: set[int] = set()
+
+    def observe(self, frame_id: int, true_pose: SE3) -> FrameObservations:
+        """Produce the noisy observations of one keyframe and update tracks."""
+        visible = set(visible_landmark_indices(self.camera, true_pose, self.landmarks).tolist())
+
+        # Continue existing tracks that remain visible (modulo drops).
+        survivors = set()
+        for fid in self._active & visible:
+            if self._rng.uniform() >= self.config.drop_probability:
+                survivors.add(fid)
+
+        # Top up with fresh detections, preferring untracked landmarks.
+        budget = self.config.max_features - len(survivors)
+        if budget > 0:
+            candidates = np.array(sorted(visible - survivors), dtype=int)
+            if candidates.size > budget:
+                candidates = self._rng.choice(candidates, size=budget, replace=False)
+            survivors.update(int(c) for c in candidates)
+
+        observations = FrameObservations(frame_id)
+        for fid in sorted(survivors):
+            if (
+                self.config.outlier_probability > 0.0
+                and self._rng.uniform() < self.config.outlier_probability
+            ):
+                # Gross mismatch: the tracker latched onto the wrong
+                # image patch somewhere in the frame.
+                pixel = np.array(
+                    [
+                        self._rng.uniform(0.0, self.camera.width),
+                        self._rng.uniform(0.0, self.camera.height),
+                    ]
+                )
+            else:
+                pixel = np.array(
+                    self.camera.project(true_pose, self.landmarks[fid]), dtype=float
+                )
+                pixel += self._rng.normal(scale=self.config.pixel_sigma, size=2)
+            observations.pixels[fid] = pixel
+        self._active = survivors
+        return observations

@@ -1,0 +1,42 @@
+"""Exception hierarchy for the Archytas reproduction.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still distinguishing configuration mistakes from infeasible optimization
+problems or malformed data-flow graphs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ConfigurationError(ReproError):
+    """An object was constructed or configured with invalid parameters."""
+
+
+class InfeasibleDesignError(ReproError):
+    """The synthesizer's constrained optimization has no feasible point.
+
+    Raised when no (nd, nm, s) assignment satisfies the latency and
+    resource constraints of :class:`repro.synth.spec.DesignSpec` on the
+    target FPGA.
+    """
+
+
+class GraphError(ReproError):
+    """A macro data-flow graph is malformed (cycles, dangling edges, ...)."""
+
+
+class ScheduleError(ReproError):
+    """The static scheduler could not map an M-DFG onto the template."""
+
+
+class DataError(ReproError):
+    """A dataset, trace, or sliding window is structurally invalid."""
+
+
+class SolverError(ReproError):
+    """A numerical solver failed to make progress (singular system, ...)."""

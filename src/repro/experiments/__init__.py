@@ -1,0 +1,13 @@
+"""Experiment registry: one entry per table/figure of the paper.
+
+Each experiment module exposes a ``run()`` returning an
+:class:`~repro.experiments.common.ExperimentResult` whose rows are the
+series the paper plots or tabulates. ``python -m repro.experiments
+<id>`` prints any of them; the benchmark harness under ``benchmarks/``
+regenerates and shape-checks every one.
+"""
+
+from repro.experiments.common import ExperimentResult, format_table
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+__all__ = ["ExperimentResult", "format_table", "EXPERIMENTS", "run_experiment"]

@@ -1,0 +1,21 @@
+"""CLI: ``python -m repro.experiments [ids...|all]`` prints the tables."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+
+def main(argv: list[str]) -> int:
+    requested = argv or ["all"]
+    ids = sorted(EXPERIMENTS) if requested == ["all"] else requested
+    for experiment_id in ids:
+        result = run_experiment(experiment_id)
+        print(result.render())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

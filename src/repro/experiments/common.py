@@ -1,0 +1,96 @@
+"""Shared experiment infrastructure: result containers, run caching,
+and table formatting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+from repro.data.sequences import make_euroc_sequence, make_kitti_sequence
+from repro.data.stats import WindowStats
+from repro.slam.estimator import EstimatorConfig, RunResult, SlidingWindowEstimator
+from repro.slam.nls import LMConfig
+
+# Trace lengths used by the experiments: long enough for stable
+# statistics, short enough that the full harness runs in minutes.
+EUROC_DURATION_S = 14.0
+KITTI_DURATION_S = 24.0
+EUROC_TRACES = ("MH_01", "MH_03")
+KITTI_TRACES = ("00", "05")
+
+
+@dataclass
+class ExperimentResult:
+    """Structured output of one experiment."""
+
+    experiment_id: str
+    title: str
+    columns: list[str]
+    rows: list[list] = field(default_factory=list)
+    notes: str = ""
+
+    def column(self, name: str) -> list:
+        index = self.columns.index(name)
+        return [row[index] for row in self.rows]
+
+    def render(self) -> str:
+        table = format_table(self.columns, self.rows)
+        parts = [f"== {self.experiment_id}: {self.title} ==", table]
+        if self.notes:
+            parts.append(self.notes)
+        return "\n".join(parts)
+
+
+def format_table(columns: list[str], rows: list[list]) -> str:
+    """Plain-text aligned table."""
+
+    def fmt(value) -> str:
+        if isinstance(value, float):
+            return f"{value:.4g}"
+        return str(value)
+
+    cells = [[fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(col), *(len(r[i]) for r in cells)) if cells else len(col)
+        for i, col in enumerate(columns)
+    ]
+    lines = [
+        "  ".join(col.ljust(w) for col, w in zip(columns, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    lines += ["  ".join(c.ljust(w) for c, w in zip(row, widths)) for row in cells]
+    return "\n".join(lines)
+
+
+@lru_cache(maxsize=8)
+def cached_sequence(kind: str, name: str, duration: float):
+    """Deterministic sequences, built once per process."""
+    if kind == "euroc":
+        return make_euroc_sequence(name, duration=duration)
+    if kind == "kitti":
+        return make_kitti_sequence(name, duration=duration)
+    raise ValueError(f"unknown dataset kind {kind!r}")
+
+
+@lru_cache(maxsize=32)
+def cached_run(
+    kind: str,
+    name: str,
+    duration: float,
+    window_size: int = 8,
+    iteration_cap: int = 6,
+) -> RunResult:
+    """Estimator runs, cached per process (they dominate wall clock)."""
+    sequence = cached_sequence(kind, name, duration)
+    estimator = SlidingWindowEstimator(
+        EstimatorConfig(
+            window_size=window_size,
+            lm=LMConfig(max_iterations=iteration_cap),
+        )
+    )
+    return estimator.run(sequence)
+
+
+def run_window_stats(run: RunResult) -> list[WindowStats]:
+    """Per-window workload statistics of a cached run."""
+    return [w.stats for w in run.windows]

@@ -1,0 +1,163 @@
+"""Fig. 15 / Fig. 16 and Tbl. 2: speedups, energy reductions, resources.
+
+Speedups and energy reductions are computed window-by-window on the
+actual workload statistics the estimator produced on each trace, then
+averaged — mirroring the paper's per-benchmark evaluation. Absolute
+milliseconds come from our calibrated models; the reproduced quantities
+are the ratios.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines import ARM_A57, INTEL_COMET_LAKE
+from repro.experiments.common import (
+    EUROC_DURATION_S,
+    EUROC_TRACES,
+    ExperimentResult,
+    KITTI_DURATION_S,
+    KITTI_TRACES,
+    cached_run,
+)
+from repro.hw import DEFAULT_POWER_MODEL, window_latency_seconds
+from repro.synth import SynthesisResult, high_perf_design, low_power_design, pareto_frontier
+
+
+def _trace_ratios(design_config, design_power, stats_list, iterations=6):
+    """Mean speedup / energy-reduction ratios over a trace's windows."""
+    speedups, energies = {"intel": [], "arm": []}, {"intel": [], "arm": []}
+    for stats in stats_list:
+        if stats.num_features < 5:
+            continue  # warm-up windows
+        t_acc = window_latency_seconds(stats, design_config, iterations)
+        e_acc = t_acc * design_power
+        for tag, platform in (("intel", INTEL_COMET_LAKE), ("arm", ARM_A57)):
+            t_cpu = platform.window_time(stats, iterations)
+            speedups[tag].append(t_cpu / t_acc)
+            energies[tag].append(t_cpu * platform.power_w / e_acc)
+    return speedups, energies
+
+
+def _all_trace_stats():
+    traces = []
+    for name in EUROC_TRACES:
+        run = cached_run("euroc", name, EUROC_DURATION_S)
+        traces.append((f"EuRoC {name}", [w.stats for w in run.windows]))
+    for name in KITTI_TRACES:
+        run = cached_run("kitti", name, KITTI_DURATION_S)
+        traces.append((f"KITTI {name}", [w.stats for w in run.windows]))
+    return traces
+
+
+def run_fig15() -> ExperimentResult:
+    """Speedup and energy reduction of the Pareto designs on one KITTI
+    trace (Fig. 15's scatter)."""
+    frontier = pareto_frontier()
+    run = cached_run("kitti", KITTI_TRACES[0], KITTI_DURATION_S)
+    stats_list = [w.stats for w in run.windows]
+    result = ExperimentResult(
+        experiment_id="fig15",
+        title="Pareto designs: speedup vs energy reduction (KITTI trace)",
+        columns=[
+            "design_latency_ms",
+            "power_w",
+            "speedup_vs_intel",
+            "energy_red_vs_intel",
+            "speedup_vs_arm",
+            "energy_red_vs_arm",
+        ],
+    )
+    for point in frontier:
+        speedups, energies = _trace_ratios(point.config, point.power_w, stats_list)
+        result.rows.append(
+            [
+                point.latency_s * 1e3,
+                point.power_w,
+                float(np.mean(speedups["intel"])),
+                float(np.mean(energies["intel"])),
+                float(np.mean(speedups["arm"])),
+                float(np.mean(energies["arm"])),
+            ]
+        )
+    result.notes = (
+        "Higher speedup -> higher energy reduction, tapering for the most "
+        "power-hungry designs (the paper's Fig. 15 trend)."
+    )
+    return result
+
+
+def run_fig16() -> ExperimentResult:
+    """High-Perf and Low-Power average speedup / energy reduction over
+    both CPU baselines across EuRoC + KITTI traces (Fig. 16)."""
+    designs = {"High-Perf": high_perf_design(), "Low-Power": low_power_design()}
+    result = ExperimentResult(
+        experiment_id="fig16",
+        title="Variant speedups / energy reductions over Intel and Arm",
+        columns=[
+            "design",
+            "speedup_intel",
+            "std",
+            "energy_red_intel",
+            "speedup_arm",
+            "energy_red_arm",
+        ],
+    )
+    for name, design in designs.items():
+        per_trace_speedup_intel, per_trace_energy_intel = [], []
+        per_trace_speedup_arm, per_trace_energy_arm = [], []
+        for _, stats_list in _all_trace_stats():
+            speedups, energies = _trace_ratios(design.config, design.power_w, stats_list)
+            per_trace_speedup_intel.append(np.mean(speedups["intel"]))
+            per_trace_energy_intel.append(np.mean(energies["intel"]))
+            per_trace_speedup_arm.append(np.mean(speedups["arm"]))
+            per_trace_energy_arm.append(np.mean(energies["arm"]))
+        result.rows.append(
+            [
+                name,
+                float(np.mean(per_trace_speedup_intel)),
+                float(np.std(per_trace_speedup_intel)),
+                float(np.mean(per_trace_energy_intel)),
+                float(np.mean(per_trace_speedup_arm)),
+                float(np.mean(per_trace_energy_arm)),
+            ]
+        )
+    result.notes = (
+        "Paper headline (full-scale windows): High-Perf 6.2x / 74x over "
+        "Intel and 39.7x / 14.6x over Arm; Low-Power 3.7x / 68.6x and "
+        "23.6x / 13.6x. Shapes to check: High-Perf > Low-Power in speed, "
+        "both far ahead of the CPUs, Arm speedup >> Intel speedup, Intel "
+        "energy gap >> Arm energy gap."
+    )
+    return result
+
+
+def run_tbl2() -> ExperimentResult:
+    """Tbl. 2: resource consumption and knob values of both variants."""
+    result = ExperimentResult(
+        experiment_id="tbl2",
+        title="FPGA resource consumption of High-Perf / Low-Power (ZC706)",
+        columns=["design", "lut_pct", "ff_pct", "bram_pct", "dsp_pct", "nd", "nm", "s"],
+    )
+    for name, design in (
+        ("High-Perf", high_perf_design()),
+        ("Low-Power", low_power_design()),
+    ):
+        result.rows.append(
+            [
+                name,
+                100 * design.utilization["lut"],
+                100 * design.utilization["ff"],
+                100 * design.utilization["bram"],
+                100 * design.utilization["dsp"],
+                design.config.nd,
+                design.config.nm,
+                design.config.s,
+            ]
+        )
+    result.notes = (
+        "Paper: High-Perf (nd=28, nm=19, s=97) at LUT 62%/FF 37%/BRAM 47%/"
+        "DSP 94%; Low-Power (21, 8, 34) at 44/29/27/49. Our optimizer picks "
+        "the same-budget designs under our calibrated models."
+    )
+    return result

@@ -1,0 +1,165 @@
+"""Sec. 7.6: dynamic optimization — energy savings and accuracy impact.
+
+For each trace we run the estimator twice: once with the static
+iteration cap of 6 and once with the run-time controller's iteration
+policy (feature-count lookup + 2-bit saturating counter). The
+controller's memoized reconfiguration table then gives per-window gated
+energy, compared against the static design running its full
+provisioning. Accuracy is compared as mean translational error in cm,
+the unit the paper reports.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from repro.baselines import ARM_A57, INTEL_COMET_LAKE
+from repro.experiments.common import (
+    EUROC_DURATION_S,
+    EUROC_TRACES,
+    ExperimentResult,
+    KITTI_DURATION_S,
+    KITTI_TRACES,
+    cached_run,
+    cached_sequence,
+)
+from repro.runtime import (
+    IterationTable,
+    RuntimeController,
+    build_reconfiguration_table,
+)
+from repro.slam.estimator import EstimatorConfig, SlidingWindowEstimator
+from repro.slam.nls import LMConfig
+from repro.synth import SynthesisResult, high_perf_design, low_power_design
+
+
+@lru_cache(maxsize=4)
+def _controller_parts(design_name: str):
+    design = {"High-Perf": high_perf_design, "Low-Power": low_power_design}[
+        design_name
+    ]()
+    reconfig = build_reconfiguration_table(design.config, design.spec)
+    return design, reconfig
+
+
+def _dynamic_run(kind: str, name: str, duration: float, design_name: str):
+    """Estimator run with the run-time iteration policy installed."""
+    design, reconfig = _controller_parts(design_name)
+    controller = RuntimeController(table=IterationTable(), reconfig=reconfig)
+    sequence = cached_sequence(kind, name, duration)
+    estimator = SlidingWindowEstimator(
+        EstimatorConfig(
+            window_size=8,
+            lm=LMConfig(max_iterations=6),
+            iteration_policy=controller.iteration_policy,
+        )
+    )
+    run = estimator.run(sequence)
+    # Replay the workload through a fresh controller for the energy
+    # bookkeeping (identical decisions: same feature counts, same table).
+    accounting = RuntimeController(table=IterationTable(), reconfig=reconfig)
+    for window in run.windows:
+        accounting.process_window(window.stats)
+    return run, accounting
+
+
+def run_sec76(design_name: str = "High-Perf") -> ExperimentResult:
+    """Energy saving and accuracy impact of the dynamic optimization."""
+    result = ExperimentResult(
+        experiment_id="sec76",
+        title=f"Dynamic optimization on {design_name} (Sec. 7.6)",
+        columns=[
+            "trace",
+            "energy_saving_pct",
+            "static_err_cm",
+            "dynamic_err_cm",
+            "accuracy_delta_cm",
+            "reconfigs",
+            "mean_iter",
+        ],
+    )
+    traces = [("euroc", n, EUROC_DURATION_S) for n in EUROC_TRACES]
+    traces += [("kitti", n, KITTI_DURATION_S) for n in KITTI_TRACES]
+    for kind, name, duration in traces:
+        static_run = cached_run(kind, name, duration)
+        dynamic_run, accounting = _dynamic_run(kind, name, duration, design_name)
+        static_err = 100 * float(
+            np.mean([w.newest_position_error for w in static_run.windows[5:]])
+        )
+        dynamic_err = 100 * float(
+            np.mean([w.newest_position_error for w in dynamic_run.windows[5:]])
+        )
+        result.rows.append(
+            [
+                f"{kind}:{name}",
+                100 * accounting.energy_saving,
+                static_err,
+                dynamic_err,
+                dynamic_err - static_err,
+                accounting.num_reconfigurations,
+                float(np.mean([d.applied_iterations for d in accounting.decisions])),
+            ]
+        )
+    savings = result.column("energy_saving_pct")
+    deltas = result.column("accuracy_delta_cm")
+    result.notes = (
+        f"Mean energy saving {np.mean(savings):.1f}% with accuracy delta "
+        f"{np.mean(deltas):+.2f} cm. Paper: High-Perf saves 21.6% (KITTI) / "
+        "20.8% (EuRoC), Low-Power 7.7% / 6.8%, accuracy degraded by at most "
+        "0.01 cm (sometimes improved)."
+    )
+    return result
+
+
+def run_sec76_combined() -> ExperimentResult:
+    """Fig. 16 revisited with the dynamic optimization enabled on both
+    sides (the paper's closing Sec. 7.6 numbers)."""
+    from repro.hw.latency import window_latency_seconds
+
+    result = ExperimentResult(
+        experiment_id="sec76b",
+        title="Speedups / energy reductions with dynamic optimization on",
+        columns=[
+            "design",
+            "speedup_intel",
+            "energy_red_intel",
+            "speedup_arm",
+            "energy_red_arm",
+        ],
+    )
+    traces = [("euroc", n, EUROC_DURATION_S) for n in EUROC_TRACES]
+    traces += [("kitti", n, KITTI_DURATION_S) for n in KITTI_TRACES]
+    for design_name in ("High-Perf", "Low-Power"):
+        design, reconfig = _controller_parts(design_name)
+        speedups = {"intel": [], "arm": []}
+        energies = {"intel": [], "arm": []}
+        for kind, name, duration in traces:
+            run, accounting = _dynamic_run(kind, name, duration, design_name)
+            for window, decision in zip(run.windows, accounting.decisions):
+                stats = window.stats
+                if stats.num_features < 5:
+                    continue
+                iters = decision.applied_iterations
+                t_acc = window_latency_seconds(stats, decision.config, iters)
+                e_acc = t_acc * accounting.reconfig.gated_power(iters)
+                for tag, platform in (("intel", INTEL_COMET_LAKE), ("arm", ARM_A57)):
+                    t_cpu = platform.window_time(stats, iters)
+                    speedups[tag].append(t_cpu / t_acc)
+                    energies[tag].append(t_cpu * platform.power_w / e_acc)
+        result.rows.append(
+            [
+                design_name,
+                float(np.mean(speedups["intel"])),
+                float(np.mean(energies["intel"])),
+                float(np.mean(speedups["arm"])),
+                float(np.mean(energies["arm"])),
+            ]
+        )
+    result.notes = (
+        "Paper: High-Perf 5.1x / 89.8x (Intel) and 30.4x / 41.3x (Arm); "
+        "Low-Power 2.8x / 62.2x and 16.7x / 28.5x. Shape: speedups dip "
+        "slightly vs static (gated hardware), energy reductions grow."
+    )
+    return result

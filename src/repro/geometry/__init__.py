@@ -1,0 +1,43 @@
+"""Rotation and rigid-body algebra plus the pinhole camera model.
+
+The SLAM estimator parameterizes orientation updates in the tangent space
+of SO(3) (axis-angle via exp/log maps) and keyframe poses as SE(3)
+elements. The camera module provides the 3D-to-2D projection ``P`` of
+Equ. 2 in the paper and its analytic Jacobians, which the Visual Jacobian
+(VJac) primitive evaluates.
+"""
+
+from repro.geometry.so3 import (
+    hat,
+    vee,
+    so3_exp,
+    so3_log,
+    quat_to_rot,
+    rot_to_quat,
+    quat_multiply,
+    quat_normalize,
+    random_rotation,
+    right_jacobian,
+    right_jacobian_inverse,
+)
+from repro.geometry.se3 import SE3
+from repro.geometry.navstate import NavState, STATE_DIM
+from repro.geometry.camera import PinholeCamera
+
+__all__ = [
+    "hat",
+    "vee",
+    "so3_exp",
+    "so3_log",
+    "quat_to_rot",
+    "rot_to_quat",
+    "quat_multiply",
+    "quat_normalize",
+    "random_rotation",
+    "right_jacobian",
+    "right_jacobian_inverse",
+    "SE3",
+    "NavState",
+    "STATE_DIM",
+    "PinholeCamera",
+]

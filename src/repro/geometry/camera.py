@@ -1,0 +1,112 @@
+"""Pinhole camera model with analytic projection Jacobians.
+
+The projection function is the ``P`` of the MAP objective (Equ. 2): it
+maps a world point through the keyframe pose into normalized pixel
+coordinates. The Jacobians with respect to the pose perturbation and the
+landmark position are exactly what the Visual Jacobian (VJac) hardware
+unit evaluates per <feature, observation> pair (Sec. 4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.geometry.se3 import SE3
+from repro.geometry.so3 import hat
+
+
+@dataclass(frozen=True)
+class PinholeCamera:
+    """Intrinsics of a pinhole camera.
+
+    Attributes:
+        fx, fy: focal lengths in pixels.
+        cx, cy: principal point in pixels.
+        width, height: image size in pixels, used for visibility tests.
+        min_depth: points closer than this (in the camera frame) are
+            treated as invisible; also guards the projection Jacobian
+            against division by a vanishing depth.
+    """
+
+    fx: float = 458.0
+    fy: float = 457.0
+    cx: float = 367.0
+    cy: float = 248.0
+    width: int = 752
+    height: int = 480
+    min_depth: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.fx <= 0 or self.fy <= 0:
+            raise ConfigurationError("focal lengths must be positive")
+        if self.width <= 0 or self.height <= 0:
+            raise ConfigurationError("image dimensions must be positive")
+        if self.min_depth <= 0:
+            raise ConfigurationError("min_depth must be positive")
+
+    @property
+    def intrinsic_matrix(self) -> np.ndarray:
+        return np.array(
+            [
+                [self.fx, 0.0, self.cx],
+                [0.0, self.fy, self.cy],
+                [0.0, 0.0, 1.0],
+            ]
+        )
+
+    def project_camera_point(self, point_c: np.ndarray) -> np.ndarray:
+        """Project a camera-frame 3D point to pixel coordinates."""
+        point_c = np.asarray(point_c, dtype=float).reshape(3)
+        z = point_c[2]
+        if z < self.min_depth:
+            raise ValueError(f"point behind or too close to camera (z={z})")
+        u = self.fx * point_c[0] / z + self.cx
+        v = self.fy * point_c[1] / z + self.cy
+        return np.array([u, v])
+
+    def project(self, pose: SE3, point_w: np.ndarray) -> np.ndarray:
+        """Project a world point through a keyframe pose into pixels."""
+        return self.project_camera_point(pose.transform_to_body(point_w))
+
+    def is_visible(self, pose: SE3, point_w: np.ndarray) -> bool:
+        """True if the world point lands inside the image with z >= min_depth."""
+        point_c = pose.transform_to_body(np.asarray(point_w, dtype=float))
+        if point_c[2] < self.min_depth:
+            return False
+        u = self.fx * point_c[0] / point_c[2] + self.cx
+        v = self.fy * point_c[1] / point_c[2] + self.cy
+        return 0.0 <= u < self.width and 0.0 <= v < self.height
+
+    def projection_jacobians(
+        self, pose: SE3, point_w: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Return (residual-space point, d(uv)/d(pose), d(uv)/d(point)).
+
+        The pose Jacobian is with respect to the 6-vector tangent
+        (dp world-frame translation, dtheta right-multiplied rotation),
+        matching :meth:`repro.geometry.se3.SE3.retract`.
+        """
+        point_w = np.asarray(point_w, dtype=float).reshape(3)
+        point_c = pose.transform_to_body(point_w)
+        x, y, z = point_c
+        if z < self.min_depth:
+            raise ValueError(f"cannot linearize point at depth z={z}")
+        inv_z = 1.0 / z
+        inv_z2 = inv_z * inv_z
+        # d(uv) / d(point_c): the classic 2x3 pinhole Jacobian.
+        d_uv_d_pc = np.array(
+            [
+                [self.fx * inv_z, 0.0, -self.fx * x * inv_z2],
+                [0.0, self.fy * inv_z, -self.fy * y * inv_z2],
+            ]
+        )
+        rot_t = pose.rotation.T
+        # point_c = R^T (p_w - t); d pc/d t = -R^T; d pc/d theta = hat(pc)
+        # (for the right-multiplied rotation update R <- R Exp(dtheta)).
+        d_pc_d_pose = np.hstack([-rot_t, hat(point_c)])
+        d_uv_d_pose = d_uv_d_pc @ d_pc_d_pose
+        d_uv_d_point = d_uv_d_pc @ rot_t
+        return point_c, d_uv_d_pose, d_uv_d_point

@@ -1,0 +1,66 @@
+"""The 15-DoF navigation state attached to every keyframe.
+
+A keyframe state bundles pose (6), velocity (3), gyro bias (3) and accel
+bias (3) — fifteen scalars, which is the ``k = 15`` that parameterizes the
+paper's S-matrix storage analysis (Sec. 3.3). ``retract``/``local`` give
+the state a manifold structure so the NLS solver can work with flat
+15-vectors per keyframe.
+
+Tangent ordering: (dp, dtheta, dv, dbg, dba).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.geometry.se3 import SE3
+
+STATE_DIM = 15
+POSE_SLICE = slice(0, 6)
+VEL_SLICE = slice(6, 9)
+BG_SLICE = slice(9, 12)
+BA_SLICE = slice(12, 15)
+
+
+@dataclass(frozen=True)
+class NavState:
+    """Pose + velocity + IMU biases of one keyframe."""
+
+    pose: SE3 = field(default_factory=SE3.identity)
+    velocity: np.ndarray = field(default_factory=lambda: np.zeros(3))
+    bias_gyro: np.ndarray = field(default_factory=lambda: np.zeros(3))
+    bias_accel: np.ndarray = field(default_factory=lambda: np.zeros(3))
+
+    def __post_init__(self) -> None:
+        for name in ("velocity", "bias_gyro", "bias_accel"):
+            value = np.asarray(getattr(self, name), dtype=float).reshape(3)
+            object.__setattr__(self, name, value)
+
+    def retract(self, delta: np.ndarray) -> "NavState":
+        """Apply a 15-dim tangent increment and return the new state."""
+        delta = np.asarray(delta, dtype=float).reshape(STATE_DIM)
+        return NavState(
+            pose=self.pose.retract(delta[POSE_SLICE]),
+            velocity=self.velocity + delta[VEL_SLICE],
+            bias_gyro=self.bias_gyro + delta[BG_SLICE],
+            bias_accel=self.bias_accel + delta[BA_SLICE],
+        )
+
+    def local(self, other: "NavState") -> np.ndarray:
+        """Tangent difference: ``self.retract(self.local(o)) == o``."""
+        out = np.empty(STATE_DIM)
+        out[POSE_SLICE] = self.pose.local(other.pose)
+        out[VEL_SLICE] = other.velocity - self.velocity
+        out[BG_SLICE] = other.bias_gyro - self.bias_gyro
+        out[BA_SLICE] = other.bias_accel - self.bias_accel
+        return out
+
+    @property
+    def position(self) -> np.ndarray:
+        return self.pose.translation
+
+    @property
+    def rotation(self) -> np.ndarray:
+        return self.pose.rotation

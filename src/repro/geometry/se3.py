@@ -1,0 +1,94 @@
+"""SE(3) rigid-body transforms.
+
+A pose is a rotation ``R`` (body -> world) and a translation ``t`` (body
+origin in world coordinates). ``transform_to_body`` implements the inverse
+action used by the camera projection: a world point expressed in the body
+(camera) frame.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.geometry.so3 import so3_exp, so3_log
+
+
+@dataclass(frozen=True)
+class SE3:
+    """A rigid-body pose: rotation ``R`` (body->world) and translation ``t``."""
+
+    rotation: np.ndarray = field(default_factory=lambda: np.eye(3))
+    translation: np.ndarray = field(default_factory=lambda: np.zeros(3))
+
+    def __post_init__(self) -> None:
+        rotation = np.asarray(self.rotation, dtype=float).reshape(3, 3)
+        translation = np.asarray(self.translation, dtype=float).reshape(3)
+        object.__setattr__(self, "rotation", rotation)
+        object.__setattr__(self, "translation", translation)
+
+    @staticmethod
+    def identity() -> "SE3":
+        return SE3()
+
+    @staticmethod
+    def exp(xi: np.ndarray) -> "SE3":
+        """First-order exponential: xi = (rho, phi) -> SE3.
+
+        Uses the decoupled (SO(3) x R^3) retraction common in VIO
+        front-ends rather than the full SE(3) exponential; the two agree
+        to first order, which is all the optimizer relies on.
+        """
+        xi = np.asarray(xi, dtype=float).reshape(6)
+        return SE3(so3_exp(xi[3:]), xi[:3])
+
+    def log(self) -> np.ndarray:
+        """Inverse of :meth:`exp`: pose -> (rho, phi) 6-vector."""
+        return np.concatenate([self.translation, so3_log(self.rotation)])
+
+    def compose(self, other: "SE3") -> "SE3":
+        """Return ``self * other`` (apply ``other`` first, then ``self``)."""
+        return SE3(
+            self.rotation @ other.rotation,
+            self.rotation @ other.translation + self.translation,
+        )
+
+    def inverse(self) -> "SE3":
+        rot_inv = self.rotation.T
+        return SE3(rot_inv, -rot_inv @ self.translation)
+
+    def transform(self, points: np.ndarray) -> np.ndarray:
+        """Map body-frame point(s) to the world frame."""
+        points = np.asarray(points, dtype=float)
+        return points @ self.rotation.T + self.translation
+
+    def transform_to_body(self, points: np.ndarray) -> np.ndarray:
+        """Map world-frame point(s) into the body frame."""
+        points = np.asarray(points, dtype=float)
+        return (points - self.translation) @ self.rotation
+
+    def retract(self, delta: np.ndarray) -> "SE3":
+        """Right-update the pose by a tangent increment (dp, dtheta).
+
+        Translation is updated additively in the world frame and rotation
+        multiplicatively on the right, matching the Jacobians produced by
+        :mod:`repro.slam.jacobians`.
+        """
+        delta = np.asarray(delta, dtype=float).reshape(6)
+        return SE3(self.rotation @ so3_exp(delta[3:]), self.translation + delta[:3])
+
+    def local(self, other: "SE3") -> np.ndarray:
+        """Tangent difference such that ``self.retract(self.local(o)) == o``."""
+        dtheta = so3_log(self.rotation.T @ other.rotation)
+        return np.concatenate([other.translation - self.translation, dtheta])
+
+    def matrix(self) -> np.ndarray:
+        """Return the 4x4 homogeneous transform."""
+        out = np.eye(4)
+        out[:3, :3] = self.rotation
+        out[:3, 3] = self.translation
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SE3(t={self.translation.round(4).tolist()})"

@@ -1,0 +1,56 @@
+"""The parameterized hardware template and its analytical models (Sec. 4-5).
+
+The template (Fig. 5) has three customizable blocks: the Cholesky unit
+(``s`` Update units), the D-type Schur unit (``nd`` MACs) and the M-type
+Schur unit (``nm`` MACs). This package provides:
+
+* the FPGA platform catalog (:mod:`fpga`);
+* the analytical latency model, Equ. 6-10 and 13-15 (:mod:`latency`);
+* the linear resource model, Equ. 16 (:mod:`resources`);
+* the linear power model, Equ. 17, with regression fitting (:mod:`power`);
+* a cycle-level discrete-event simulator that validates the analytical
+  models (:mod:`sim`);
+* a Verilog emitter producing the synthesizable output (:mod:`rtl`).
+"""
+
+from repro.hw.fpga import FpgaPlatform, ZC706, KINTEX7_160T, VIRTEX7_690T, FPGA_CATALOG
+from repro.hw.config import HardwareConfig
+from repro.hw.latency import (
+    LatencyModel,
+    jacobian_feature_latency,
+    dschur_feature_latency,
+    cholesky_latency,
+    mschur_latency,
+    nls_iteration_latency,
+    marginalization_latency,
+    window_latency_cycles,
+    window_latency_seconds,
+    REFERENCE_WORKLOAD,
+)
+from repro.hw.resources import ResourceModel, DEFAULT_RESOURCE_MODEL, fit_linear_model
+from repro.hw.power import PowerModel, DEFAULT_POWER_MODEL, fit_power_model
+
+__all__ = [
+    "FpgaPlatform",
+    "ZC706",
+    "KINTEX7_160T",
+    "VIRTEX7_690T",
+    "FPGA_CATALOG",
+    "HardwareConfig",
+    "LatencyModel",
+    "jacobian_feature_latency",
+    "dschur_feature_latency",
+    "cholesky_latency",
+    "mschur_latency",
+    "nls_iteration_latency",
+    "marginalization_latency",
+    "window_latency_cycles",
+    "window_latency_seconds",
+    "REFERENCE_WORKLOAD",
+    "ResourceModel",
+    "DEFAULT_RESOURCE_MODEL",
+    "fit_linear_model",
+    "PowerModel",
+    "DEFAULT_POWER_MODEL",
+    "fit_power_model",
+]

@@ -1,0 +1,129 @@
+"""The hardware template's block inventory (Fig. 5).
+
+A concrete accounting of every block in the template: the fixed-function
+blocks whose resources make up the base term ``R0`` of Equ. 16, and the
+three customizable blocks whose per-unit costs are the ``Rd/Rm/Rs``
+coefficients. The inventory is consistent by construction with
+:data:`repro.hw.resources.DEFAULT_RESOURCE_MODEL` — tests assert the
+fixed blocks' resources sum to the model's base and the per-unit entries
+match the model's slopes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.resources import DEFAULT_RESOURCE_MODEL, ResourceModel
+from repro.linalg.smatrix import SMatrixLayout
+
+
+@dataclass(frozen=True)
+class BlockResources:
+    """One template block's resource footprint."""
+
+    name: str
+    lut: float
+    ff: float
+    bram: float
+    dsp: float
+    customizable: bool = False
+    per_unit: bool = False  # True: costs are per customization unit
+
+    def as_dict(self) -> dict[str, float]:
+        return {"lut": self.lut, "ff": self.ff, "bram": self.bram, "dsp": self.dsp}
+
+
+def _split(base: float, fraction: float) -> float:
+    return base * fraction
+
+
+def template_inventory(
+    model: ResourceModel = DEFAULT_RESOURCE_MODEL, k: int = 15, b: int = 15
+) -> list[BlockResources]:
+    """The Fig. 5 inventory, partitioning the model's base resources.
+
+    Fractions reflect each fixed block's relative complexity: the
+    Jacobian units carry the projection/rotation datapaths (most LUT/FF/
+    DSP), the buffers carry most of the BRAM (sized by the Sec. 3.3
+    compact layout), and the remaining control/glue logic takes the
+    rest.
+    """
+    base = {kind: getattr(model, kind).base for kind in ("lut", "ff", "bram", "dsp")}
+    smatrix_bram = SMatrixLayout(k, b).compact_words * 32 / 36_864
+
+    fractions = {
+        "visual-jacobian-unit": (0.26, 0.26, 0.08, 0.34),
+        "imu-jacobian-unit": (0.12, 0.12, 0.04, 0.16),
+        "prepare-ab-logic": (0.14, 0.14, 0.06, 0.16),
+        "form-information-logic": (0.10, 0.10, 0.04, 0.12),
+        "back-substitution": (0.10, 0.10, 0.02, 0.14),
+        "update-logic": (0.06, 0.06, 0.02, 0.08),
+        "control-and-host-interface": (0.22, 0.22, 0.0, 0.0),
+    }
+    inventory = []
+    buffer_bram = base["bram"]
+    for name, (f_lut, f_ff, f_bram, f_dsp) in fractions.items():
+        block = BlockResources(
+            name=name,
+            lut=_split(base["lut"], f_lut),
+            ff=_split(base["ff"], f_ff),
+            bram=_split(base["bram"], f_bram),
+            dsp=_split(base["dsp"], f_dsp),
+        )
+        buffer_bram -= block.bram
+        inventory.append(block)
+    # Buffers take whatever BRAM the datapath blocks do not, dominated by
+    # the Linear System Parameter Buffer under the compact layout.
+    inventory.append(
+        BlockResources(
+            name="parameter-and-io-buffers",
+            lut=0.0,
+            ff=0.0,
+            bram=buffer_bram,
+            dsp=0.0,
+        )
+    )
+    assert buffer_bram >= smatrix_bram * 0.5, "buffers must hold the S matrix"
+
+    inventory += [
+        BlockResources(
+            name="d-type-schur (per MAC)",
+            lut=model.lut.per_nd,
+            ff=model.ff.per_nd,
+            bram=model.bram.per_nd,
+            dsp=model.dsp.per_nd,
+            customizable=True,
+            per_unit=True,
+        ),
+        BlockResources(
+            name="m-type-schur (per MAC)",
+            lut=model.lut.per_nm,
+            ff=model.ff.per_nm,
+            bram=model.bram.per_nm,
+            dsp=model.dsp.per_nm,
+            customizable=True,
+            per_unit=True,
+        ),
+        BlockResources(
+            name="cholesky (per Update unit)",
+            lut=model.lut.per_s,
+            ff=model.ff.per_s,
+            bram=model.bram.per_s,
+            dsp=model.dsp.per_s,
+            customizable=True,
+            per_unit=True,
+        ),
+    ]
+    return inventory
+
+
+def fixed_block_totals(
+    model: ResourceModel = DEFAULT_RESOURCE_MODEL,
+) -> dict[str, float]:
+    """Sum of the fixed (non-customizable) blocks — must equal R0."""
+    totals = {"lut": 0.0, "ff": 0.0, "bram": 0.0, "dsp": 0.0}
+    for block in template_inventory(model):
+        if not block.customizable:
+            for kind, value in block.as_dict().items():
+                totals[kind] += value
+    return totals

@@ -1,0 +1,58 @@
+"""The three-knob hardware configuration (nd, nm, s).
+
+These are the customization parameters of Sec. 4.1: the number of MAC
+units in the D-type and M-type Schur blocks and the number of Update
+units in the Cholesky block. Everything else in the template is fixed
+function, so a concrete accelerator design is fully described by this
+triple (plus the target FPGA).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+# Knob bounds delimiting the explored design space (Sec. 7.3's ~90,000
+# points: roughly 30 x 25 x 120).
+ND_RANGE = (1, 30)
+NM_RANGE = (1, 25)
+S_RANGE = (1, 120)
+
+
+@dataclass(frozen=True, order=True)
+class HardwareConfig:
+    """One point in the (nd, nm, s) design space."""
+
+    nd: int = 8
+    nm: int = 8
+    s: int = 16
+
+    def __post_init__(self) -> None:
+        for name, value, (low, high) in (
+            ("nd", self.nd, ND_RANGE),
+            ("nm", self.nm, NM_RANGE),
+            ("s", self.s, S_RANGE),
+        ):
+            if not isinstance(value, int) or isinstance(value, bool):
+                raise ConfigurationError(f"{name} must be an integer")
+            if not low <= value <= high:
+                raise ConfigurationError(
+                    f"{name} must be in [{low}, {high}], got {value}"
+                )
+
+    def dominates(self, other: "HardwareConfig") -> bool:
+        """Componentwise <=: this config uses no more of any resource."""
+        return self.nd <= other.nd and self.nm <= other.nm and self.s <= other.s
+
+    def as_tuple(self) -> tuple[int, int, int]:
+        return (self.nd, self.nm, self.s)
+
+
+def design_space_size() -> int:
+    """Number of points in the explored design space (Sec. 7.3: ~90k)."""
+    return (
+        (ND_RANGE[1] - ND_RANGE[0] + 1)
+        * (NM_RANGE[1] - NM_RANGE[0] + 1)
+        * (S_RANGE[1] - S_RANGE[0] + 1)
+    )

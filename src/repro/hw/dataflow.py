@@ -1,0 +1,103 @@
+"""Jacobian-block dataflow ablation (Sec. 4.2's design decision).
+
+The Jacobian unit computes one matrix element per <feature, observation>
+pair. Two dataflows are possible:
+
+* **feature-stationary** (the paper's choice, row-major): each feature
+  point stays in the Observation block while its whole row is computed —
+  the many features stream through a FIFO once, and the few keyframe
+  rotation matrices are fetched per observation from a *small* RAM.
+* **rotation-stationary** (column-major): each keyframe's rotation
+  matrix stays while its column is computed — but then every observation
+  must fetch its feature record from a *large* RAM sized for all the
+  window's features.
+
+The energy asymmetry comes from RAM access cost growing with array
+capacity (longer word/bit lines, wider decoders): a typical window has
+~10x more feature points than keyframes, so the feature store is two
+orders of magnitude larger than the rotation store. This module
+quantifies the argument the paper makes qualitatively ("the massive
+amount of feature points would have to be accessed from a power-hungry
+RAM").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.stats import WindowStats
+from repro.errors import ConfigurationError
+
+# Words per record.
+FEATURE_RECORD_WORDS = 8  # world coords + anchor info + bookkeeping
+ROTATION_RECORD_WORDS = 9  # 3x3 rotation matrix
+
+# Energy model, normalized to one FIFO word = 1.
+FIFO_WORD_ENERGY = 1.0
+RAM_BASE_WORD_ENERGY = 2.0
+RAM_CAPACITY_SLOPE = 1.0 / 64.0  # extra energy per word of array capacity
+
+
+def ram_word_energy(capacity_words: int) -> float:
+    """Per-word read energy of a RAM holding ``capacity_words``."""
+    return RAM_BASE_WORD_ENERGY + RAM_CAPACITY_SLOPE * capacity_words
+
+
+@dataclass(frozen=True)
+class DataflowCost:
+    """Traffic and energy of one dataflow choice."""
+
+    name: str
+    fifo_words: float
+    ram_words: float
+    ram_capacity_words: int
+
+    @property
+    def energy(self) -> float:
+        return (
+            FIFO_WORD_ENERGY * self.fifo_words
+            + ram_word_energy(self.ram_capacity_words) * self.ram_words
+        )
+
+
+def feature_stationary_cost(stats: WindowStats) -> DataflowCost:
+    """Row-major: features via FIFO, rotations from the small RAM."""
+    _check(stats)
+    observations = _observations(stats)
+    return DataflowCost(
+        name="feature-stationary",
+        fifo_words=stats.num_features * FEATURE_RECORD_WORDS,
+        ram_words=observations * ROTATION_RECORD_WORDS,
+        ram_capacity_words=stats.num_keyframes * ROTATION_RECORD_WORDS,
+    )
+
+
+def rotation_stationary_cost(stats: WindowStats) -> DataflowCost:
+    """Column-major: rotations via FIFO, features from the large RAM."""
+    _check(stats)
+    observations = _observations(stats)
+    return DataflowCost(
+        name="rotation-stationary",
+        fifo_words=stats.num_keyframes * ROTATION_RECORD_WORDS,
+        # Every observation re-reads its feature record, plus the initial
+        # fill of the feature store.
+        ram_words=(observations + stats.num_features) * FEATURE_RECORD_WORDS,
+        ram_capacity_words=stats.num_features * FEATURE_RECORD_WORDS,
+    )
+
+
+def dataflow_energy_ratio(stats: WindowStats) -> float:
+    """Energy of rotation-stationary over feature-stationary (> 1 means
+    the paper's choice wins)."""
+    return rotation_stationary_cost(stats).energy / feature_stationary_cost(stats).energy
+
+
+def _observations(stats: WindowStats) -> int:
+    return stats.num_observations or int(
+        round(stats.num_features * stats.avg_observations)
+    )
+
+
+def _check(stats: WindowStats) -> None:
+    if stats.num_features < 1 or stats.num_keyframes < 1:
+        raise ConfigurationError("need at least one feature and one keyframe")

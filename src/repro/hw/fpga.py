@@ -1,0 +1,58 @@
+"""FPGA platform catalog.
+
+Resource totals are the published device capacities of the three boards
+evaluated in the paper (Sec. 7.1 and 7.7): the Zynq-7000 ZC706 (XC7Z045),
+a Kintex-7 XC7K160T, and a Virtex-7 XC7VX690T. All Archytas designs run
+at a fixed 143 MHz, matching the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+RESOURCE_KINDS = ("lut", "ff", "bram", "dsp")
+
+
+@dataclass(frozen=True)
+class FpgaPlatform:
+    """One FPGA device: name, resource capacities, clock frequency."""
+
+    name: str
+    lut: int
+    ff: int
+    bram: float  # 36Kb block equivalents
+    dsp: int
+    frequency_hz: float = 143e6
+
+    def __post_init__(self) -> None:
+        for kind in RESOURCE_KINDS:
+            if getattr(self, kind) <= 0:
+                raise ConfigurationError(f"{self.name}: {kind} capacity must be positive")
+        if self.frequency_hz <= 0:
+            raise ConfigurationError("frequency must be positive")
+
+    def capacity(self, kind: str) -> float:
+        if kind not in RESOURCE_KINDS:
+            raise ConfigurationError(f"unknown resource kind {kind!r}")
+        return float(getattr(self, kind))
+
+    def capacities(self) -> dict[str, float]:
+        return {kind: self.capacity(kind) for kind in RESOURCE_KINDS}
+
+
+ZC706 = FpgaPlatform(name="Xilinx Zynq-7000 ZC706 (XC7Z045)",
+                     lut=218_600, ff=437_200, bram=545, dsp=900)
+
+KINTEX7_160T = FpgaPlatform(name="Xilinx Kintex-7 XC7K160T",
+                            lut=101_400, ff=202_800, bram=325, dsp=600)
+
+VIRTEX7_690T = FpgaPlatform(name="Xilinx Virtex-7 XC7VX690T",
+                            lut=433_200, ff=866_400, bram=1470, dsp=3600)
+
+FPGA_CATALOG: dict[str, FpgaPlatform] = {
+    "zc706": ZC706,
+    "kintex7-160t": KINTEX7_160T,
+    "virtex7-690t": VIRTEX7_690T,
+}

@@ -1,0 +1,192 @@
+"""The analytical latency model (Equ. 6-10 and 13-15).
+
+All latencies are in clock cycles at the platform frequency. The model
+mirrors the paper exactly:
+
+* Jacobian block (Equ. 6): ``L_jac = No * Co`` per feature under the
+  statistically-balanced feature-stationary pipeline of Sec. 4.2.
+* Cholesky block (Equ. 7-8): round-structured Evaluate/Update timeline
+  of Fig. 10 with ``s`` time-multiplexed Update units.
+* D-type Schur (Equ. 9): ``(6 No)^2 / nd`` per feature.
+* M-type Schur (Equ. 10): the ``am``/``b``/``k``-parameterized form.
+* End-to-end (Equ. 13-15): ``Iter`` pipelined NLS iterations plus
+  marginalization.
+
+Cycle-count constants (``CO_OBSERVATION``, ``EVALUATE_LATENCY``, ...)
+are calibrated so that the synthesized High-Perf / Low-Power designs of
+Tbl. 2 meet their 20 ms / 33 ms constraints on the reference workload —
+the one absolute-scale calibration in the model (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.stats import WindowStats
+from repro.errors import ConfigurationError
+from repro.hw.config import HardwareConfig
+from repro.hw.fpga import FpgaPlatform, ZC706
+
+# ----------------------------------------------------------------------
+# Calibrated cycle constants (absolute scale; shapes come from the
+# equations themselves).
+# ----------------------------------------------------------------------
+
+# Per-stage latency Co of the Observation block (Equ. 6): cycles to
+# produce one Jacobian matrix element once the pipeline is full.
+CO_OBSERVATION = 35
+# Evaluate-phase latency E of the Cholesky block (sqrt + divide chain).
+EVALUATE_LATENCY = 200
+# Effective cycles per MAC issued in the Schur blocks (issue interval +
+# operand fetch overhead of the time-multiplexed datapath).
+CYCLES_PER_MAC = 10.0
+# Fixed-function back-substitution: datapath width in MACs.
+BACKSUB_WIDTH = 5
+
+# The reference workload used for calibration and for sizing static
+# designs: a classic full-scale window (the paper reports ~10x more
+# features than keyframes and ~10x more observations than features).
+REFERENCE_WORKLOAD = WindowStats(
+    num_features=250,
+    avg_observations=10.5,
+    num_keyframes=15,
+    num_marginalized=28,
+    num_observations=2625,
+)
+
+
+def jacobian_feature_latency(avg_observations: float) -> float:
+    """Equ. 6: L_jac = No * Co cycles per feature point."""
+    if avg_observations < 0:
+        raise ConfigurationError("avg_observations must be non-negative")
+    return avg_observations * CO_OBSERVATION
+
+
+def dschur_feature_latency(avg_observations: float, nd: int) -> float:
+    """Equ. 9: L_DSchur(nd) = (6 No)^2 / nd cycles per feature point."""
+    if nd < 1:
+        raise ConfigurationError("nd must be >= 1")
+    width = 6.0 * avg_observations
+    return CYCLES_PER_MAC * width * width / nd
+
+
+def cholesky_latency(m: int, s: int, evaluate_latency: float = EVALUATE_LATENCY) -> float:
+    """Equ. 7-8: the round-structured Cholesky latency.
+
+    L = sum_{k=0}^{floor(m/s)} max(s E, E + U(m_k)), m_k = m - s k - 1,
+
+    where U(m_k) = m_k (m_k + 1) / 2 is the update work of the round's
+    first iteration (the trailing symmetric half including its diagonal
+    -- the exact per-iteration operation count measured by
+    cholesky_evaluate_update, which the cycle simulator also uses; the
+    paper's m_k (m_k - 1) / 2 differs only by the diagonal term).
+    """
+    if m < 1 or s < 1:
+        raise ConfigurationError("need m >= 1 and s >= 1")
+    total = 0.0
+    for k in range(m // s + 1):
+        m_k = m - s * k - 1
+        if m_k < 0:
+            break
+        update_work = m_k * (m_k + 1) / 2.0
+        total += max(s * evaluate_latency, evaluate_latency + update_work)
+    return total
+
+
+def mschur_latency(stats: WindowStats, nm: int) -> float:
+    """Equ. 10: the M-type Schur latency.
+
+    L ~= 15 am + am^2 + bk (15 + am)(6(b-1) + 9) + bk (6(b-1) + 9)^2,
+    bk = (15 + am) / nm.
+    """
+    if nm < 1:
+        raise ConfigurationError("nm must be >= 1")
+    am = max(stats.num_marginalized, 1)
+    b = max(stats.num_keyframes, 2)
+    bk = (15.0 + am) / nm
+    keep_width = 6.0 * (b - 1) + 9.0
+    raw = (
+        15.0 * am
+        + am * am
+        + bk * (15.0 + am) * keep_width
+        + bk * keep_width * keep_width
+    )
+    return CYCLES_PER_MAC * raw
+
+
+def backsub_latency(stats: WindowStats) -> float:
+    """Fixed-function forward/backward substitution over the q x q factor."""
+    q = stats.state_size * max(stats.num_keyframes, 1)
+    return q * q / BACKSUB_WIDTH
+
+
+def nls_iteration_latency(stats: WindowStats, config: HardwareConfig) -> float:
+    """Equ. 14: one NLS iteration.
+
+    L_NLS = a * max(L_jac, L_DSchur(nd)) + L_cholesky(s) + L_sub
+
+    The max models the pipeline parallelism between the Jacobian and
+    D-type Schur blocks across the a feature points.
+    """
+    a = max(stats.num_features, 1)
+    per_feature = max(
+        jacobian_feature_latency(stats.avg_observations),
+        dschur_feature_latency(stats.avg_observations, config.nd),
+    )
+    q = stats.state_size * max(stats.num_keyframes, 1)
+    return a * per_feature + cholesky_latency(q, config.s) + backsub_latency(stats)
+
+
+def marginalization_latency(stats: WindowStats, config: HardwareConfig) -> float:
+    """Equ. 15: marginalization = am Jacobians + D-Schur + Cholesky + M-Schur."""
+    am = max(stats.num_marginalized, 1)
+    q = stats.state_size * max(stats.num_keyframes, 1)
+    return (
+        am * jacobian_feature_latency(stats.avg_observations)
+        + dschur_feature_latency(stats.avg_observations, config.nd) * am
+        + cholesky_latency(q, config.s)
+        + mschur_latency(stats, config.nm)
+    )
+
+
+def window_latency_cycles(
+    stats: WindowStats, config: HardwareConfig, iterations: int = 6
+) -> float:
+    """Equ. 13: Lat = Iter * L_NLS + L_marg, in cycles."""
+    if iterations < 1:
+        raise ConfigurationError("iterations must be >= 1")
+    return iterations * nls_iteration_latency(stats, config) + marginalization_latency(
+        stats, config
+    )
+
+
+def window_latency_seconds(
+    stats: WindowStats,
+    config: HardwareConfig,
+    iterations: int = 6,
+    platform: FpgaPlatform = ZC706,
+) -> float:
+    """End-to-end window latency in seconds at the platform clock."""
+    return window_latency_cycles(stats, config, iterations) / platform.frequency_hz
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """Bound (workload, iteration) latency queries over configs.
+
+    A convenience wrapper used by the synthesizer: freezes the workload
+    statistics and iteration count so the optimizer sees latency purely
+    as a function of (nd, nm, s).
+    """
+
+    stats: WindowStats = REFERENCE_WORKLOAD
+    iterations: int = 6
+    platform: FpgaPlatform = ZC706
+
+    def cycles(self, config: HardwareConfig) -> float:
+        return window_latency_cycles(self.stats, config, self.iterations)
+
+    def seconds(self, config: HardwareConfig) -> float:
+        return window_latency_seconds(
+            self.stats, config, self.iterations, self.platform
+        )

@@ -1,0 +1,14 @@
+"""Synthesizable Verilog emission for a configured accelerator."""
+
+from repro.hw.rtl.emitter import emit_design, emit_module
+from repro.hw.rtl.lint import LintReport, lint_design, lint_source
+from repro.hw.rtl.testbench import emit_testbench
+
+__all__ = [
+    "emit_design",
+    "emit_module",
+    "LintReport",
+    "lint_design",
+    "lint_source",
+    "emit_testbench",
+]

@@ -1,0 +1,48 @@
+"""A minimal discrete-event simulation core.
+
+Deliberately tiny: a priority queue of timestamped events with stable
+FIFO ordering for ties. The block-level simulators push unit-completion
+events and advance a global clock; nothing more is needed to reproduce
+the template's timing behaviour.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass(order=True)
+class Event:
+    """One scheduled occurrence."""
+
+    time: float
+    sequence: int = field(compare=True)
+    payload: Any = field(compare=False, default=None)
+
+
+class EventQueue:
+    """Stable time-ordered event queue."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+        self.now = 0.0
+
+    def push(self, time: float, payload: Any = None) -> None:
+        if time < self.now:
+            raise ValueError(f"cannot schedule event in the past ({time} < {self.now})")
+        heapq.heappush(self._heap, Event(time, next(self._counter), payload))
+
+    def pop(self) -> Event:
+        event = heapq.heappop(self._heap)
+        self.now = event.time
+        return event
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)

@@ -1,0 +1,14 @@
+"""Inertial measurement unit models.
+
+Provides the IMU noise specification, raw-sample synthesis, and the
+preintegration of gyro/accel samples between consecutive keyframes.
+Preintegrated deltas are what the IMU Jacobian (IJac) primitive node
+linearizes, and they give each keyframe its 15-dimensional state
+(position, orientation, velocity, gyro bias, accel bias) — the ``k = 15``
+of the paper's S-matrix layout analysis (Sec. 3.3).
+"""
+
+from repro.imu.noise import ImuNoise
+from repro.imu.preintegration import ImuPreintegration, GRAVITY
+
+__all__ = ["ImuNoise", "ImuPreintegration", "GRAVITY"]

@@ -1,0 +1,58 @@
+"""IMU noise specification.
+
+Continuous-time white-noise densities for the gyroscope and
+accelerometer plus the random-walk densities of their biases, in the
+units conventionally quoted on IMU datasheets. The EuRoC default matches
+the ADIS16448 figures shipped with the dataset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ImuNoise:
+    """Continuous-time IMU noise densities.
+
+    Attributes:
+        gyro_noise: gyroscope white noise density [rad / s / sqrt(Hz)].
+        accel_noise: accelerometer white noise density [m / s^2 / sqrt(Hz)].
+        gyro_walk: gyroscope bias random walk [rad / s^2 / sqrt(Hz)].
+        accel_walk: accelerometer bias random walk [m / s^3 / sqrt(Hz)].
+    """
+
+    gyro_noise: float = 1.7e-4
+    accel_noise: float = 2.0e-3
+    gyro_walk: float = 2.0e-5
+    accel_walk: float = 3.0e-3
+
+    def __post_init__(self) -> None:
+        for name in ("gyro_noise", "accel_noise", "gyro_walk", "accel_walk"):
+            if getattr(self, name) < 0:
+                raise ConfigurationError(f"{name} must be non-negative")
+
+    def discrete_gyro_sigma(self, dt: float) -> float:
+        """Per-sample gyro noise std for sample interval ``dt``."""
+        return self.gyro_noise / np.sqrt(dt)
+
+    def discrete_accel_sigma(self, dt: float) -> float:
+        """Per-sample accel noise std for sample interval ``dt``."""
+        return self.accel_noise / np.sqrt(dt)
+
+    def discrete_gyro_walk_sigma(self, dt: float) -> float:
+        """Per-sample gyro-bias random-walk std for interval ``dt``."""
+        return self.gyro_walk * np.sqrt(dt)
+
+    def discrete_accel_walk_sigma(self, dt: float) -> float:
+        """Per-sample accel-bias random-walk std for interval ``dt``."""
+        return self.accel_walk * np.sqrt(dt)
+
+    @staticmethod
+    def ideal() -> "ImuNoise":
+        """A noiseless IMU, useful for unit tests of the integrators."""
+        return ImuNoise(0.0, 0.0, 0.0, 0.0)

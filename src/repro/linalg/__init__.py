@@ -1,0 +1,34 @@
+"""Numerical kernels mirrored one-to-one by the hardware template.
+
+Each function here is the software-reference semantics of a hardware
+block: the Evaluate/Update Cholesky (Sec. 4.3), forward/backward
+substitution (FBSub), the D-type and M-type Schur complements (Sec. 4.4),
+the blocked matrix inverse of Equ. 5, and the compact S-matrix storage of
+Sec. 3.3. The cycle-level simulator executes these kernels while it
+counts cycles, so functional results and timing come from the same code.
+"""
+
+from repro.linalg.cholesky import (
+    cholesky_evaluate_update,
+    forward_substitution,
+    backward_substitution,
+    solve_cholesky,
+    solve_spd,
+)
+from repro.linalg.schur import d_type_schur, m_type_schur, schur_condense
+from repro.linalg.blocked import blocked_inverse
+from repro.linalg.smatrix import SMatrixLayout, CompactSMatrix
+
+__all__ = [
+    "cholesky_evaluate_update",
+    "forward_substitution",
+    "backward_substitution",
+    "solve_cholesky",
+    "solve_spd",
+    "d_type_schur",
+    "m_type_schur",
+    "schur_condense",
+    "blocked_inverse",
+    "SMatrixLayout",
+    "CompactSMatrix",
+]

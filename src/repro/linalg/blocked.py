@@ -1,0 +1,73 @@
+"""Blocked matrix inversion (Equ. 5 of the paper).
+
+Inverts a symmetric matrix ``M`` partitioned as ``[[M11, M12], [M21,
+M22]]`` via the Schur complement ``S' = M22 - M21 M11^-1 M12``. When
+``M11`` is diagonal (the blocking the M-DFG builder always selects —
+Sec. 3.2.3) the ``M11^-1`` term is O(n) and ``S'`` becomes a D-type
+Schur, which is why the hardware can share the D-type Schur block between
+the NLS solver and marginalization.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SolverError
+from repro.linalg.cholesky import cholesky_evaluate_update, solve_cholesky
+from repro.utils.validation import check_square
+
+
+def blocked_inverse(matrix: np.ndarray, split: int, diagonal_11: bool = False) -> np.ndarray:
+    """Invert a symmetric matrix via the 2x2 block formula of Equ. 5.
+
+    Args:
+        matrix: symmetric invertible matrix.
+        split: size ``p`` of the leading M11 block; 0 < split < n.
+        diagonal_11: assert and exploit that M11 is diagonal (the optimal
+            blocking); inversion of M11 is then elementwise.
+
+    Returns:
+        The full inverse, assembled from the four blocks of Equ. 5.
+    """
+    matrix = check_square("matrix", matrix)
+    size = matrix.shape[0]
+    if not 0 < split < size:
+        raise ValueError(f"split must be in (0, {size}), got {split}")
+
+    m11 = matrix[:split, :split]
+    m12 = matrix[:split, split:]
+    m21 = matrix[split:, :split]
+    m22 = matrix[split:, split:]
+
+    if diagonal_11:
+        diag = np.diag(m11)
+        off_diag = m11 - np.diag(diag)
+        if np.abs(off_diag).max(initial=0.0) > 1e-12 * max(np.abs(diag).max(initial=1.0), 1.0):
+            raise SolverError("M11 is not diagonal but diagonal_11 was requested")
+        if np.any(diag == 0.0):
+            raise SolverError("singular diagonal M11 block")
+        m11_inv = np.diag(1.0 / diag)
+    else:
+        m11_inv = np.linalg.inv(m11)
+
+    # S' = M22 - M21 M11^-1 M12, inverted with our Cholesky kernel when
+    # it is SPD, falling back to a generic inverse otherwise.
+    schur = m22 - m21 @ m11_inv @ m12
+    schur_inv = _symmetric_inverse(schur)
+
+    top_left = m11_inv + m11_inv @ m12 @ schur_inv @ m21 @ m11_inv
+    top_right = -m11_inv @ m12 @ schur_inv
+    bottom_left = -schur_inv @ m21 @ m11_inv
+    return np.block([[top_left, top_right], [bottom_left, schur_inv]])
+
+
+def _symmetric_inverse(matrix: np.ndarray) -> np.ndarray:
+    """Invert a (nearly) symmetric matrix, preferring the Cholesky path."""
+    symmetric = 0.5 * (matrix + matrix.T)
+    try:
+        factor, _ = cholesky_evaluate_update(symmetric)
+    except SolverError:
+        return np.linalg.inv(matrix)
+    identity = np.eye(matrix.shape[0])
+    columns = [solve_cholesky(factor, identity[:, j]) for j in range(matrix.shape[0])]
+    return np.column_stack(columns)

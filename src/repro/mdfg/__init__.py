@@ -1,0 +1,48 @@
+"""Macro data-flow graph (M-DFG) construction and optimization (Sec. 3).
+
+The M-DFG is Archytas's coarse-grained program representation: each node
+is a well-optimized hardware-sized function (Tbl. 1) rather than a single
+arithmetic operation. This package provides:
+
+* the primitive node vocabulary and typed graph (:mod:`nodes`, :mod:`graph`);
+* per-node arithmetic cost models (:mod:`cost`);
+* the cost-driven builder that lowers the algorithm of Fig. 2 into a
+  concrete M-DFG, choosing the blocking strategy for the linear solver
+  and marginalization (:mod:`builder`);
+* the data-layout optimizer of Sec. 3.3 (:mod:`layout`);
+* the static scheduler that maps subgraphs onto shared hardware blocks
+  and decides pipelining (:mod:`schedule`).
+"""
+
+from repro.mdfg.nodes import NodeType, MDFGNode
+from repro.mdfg.graph import MDFG
+from repro.mdfg.cost import node_cost, CostModel
+from repro.mdfg.builder import (
+    BlockingChoice,
+    optimal_linear_solver_blocking,
+    optimal_marginalization_blocking,
+    build_linear_solver_mdfg,
+    build_marginalization_mdfg,
+    build_window_mdfg,
+)
+from repro.mdfg.layout import LayoutDecision, choose_s_matrix_layout
+from repro.mdfg.schedule import HardwareBlockType, Schedule, schedule_mdfg
+
+__all__ = [
+    "NodeType",
+    "MDFGNode",
+    "MDFG",
+    "node_cost",
+    "CostModel",
+    "BlockingChoice",
+    "optimal_linear_solver_blocking",
+    "optimal_marginalization_blocking",
+    "build_linear_solver_mdfg",
+    "build_marginalization_mdfg",
+    "build_window_mdfg",
+    "LayoutDecision",
+    "choose_s_matrix_layout",
+    "HardwareBlockType",
+    "Schedule",
+    "schedule_mdfg",
+]

@@ -1,0 +1,90 @@
+"""Arithmetic cost models of the primitive M-DFG nodes.
+
+These are the cost models the M-DFG builder minimizes when it chooses a
+blocking strategy (Sec. 3.2.2): "the cost model is obtained by
+accumulating the amount of arithmetic operations of each primitive node"
+(e.g. matrix multiplication requires ~n^3 operations). Costs are counted
+in multiply-accumulate-equivalent operations; square roots and divides
+are weighted because they occupy much deeper hardware pipelines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.mdfg.nodes import MDFGNode, NodeType
+
+# Per-observation arithmetic of one VJac evaluation: camera projection,
+# the 2x3 projection Jacobian, two 2x6 pose Jacobians and the chain
+# products (Sec. 4.2's Observation block).
+VJAC_OPS_PER_OBSERVATION = 180
+# One IJac evaluation: the 15-dim residual and two 15x15 Jacobian blocks.
+IJAC_OPS_PER_LINK = 2600
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Weights for operation classes (MAC = 1 by definition)."""
+
+    mac: float = 1.0
+    divide: float = 4.0
+    sqrt: float = 8.0
+
+    def matmul(self, m: int, k: int, n: int) -> float:
+        return self.mac * m * k * n
+
+    def dmatmul(self, p: int, n: int) -> float:
+        return self.mac * p * n
+
+    def dmatinv(self, p: int) -> float:
+        return self.divide * p
+
+    def matsub(self, m: int, n: int) -> float:
+        return self.mac * m * n
+
+    def mattp(self, m: int, n: int) -> float:
+        # Pure data movement; free in the arithmetic model (the layout
+        # cost is captured by the hardware model's buffers instead).
+        return 0.0
+
+    def cholesky(self, m: int) -> float:
+        # m sqrt + m(m-1)/2 divides + ~m^3/6 MACs in the updates.
+        return self.sqrt * m + self.divide * m * (m - 1) / 2 + self.mac * m**3 / 6.0
+
+    def fbsub(self, m: int) -> float:
+        # Forward + backward triangular solves: ~m^2 MACs + 2m divides.
+        return self.mac * m * m + self.divide * 2 * m
+
+    def vjac(self, observations: int) -> float:
+        return self.mac * VJAC_OPS_PER_OBSERVATION * observations
+
+    def ijac(self, links: int) -> float:
+        return self.mac * IJAC_OPS_PER_LINK * links
+
+
+DEFAULT_COST_MODEL = CostModel()
+
+
+def node_cost(node: MDFGNode, model: CostModel | None = None) -> float:
+    """Arithmetic cost of a single node under the given cost model."""
+    model = model or DEFAULT_COST_MODEL
+    kind, dims = node.node_type, node.dims
+    if kind is NodeType.MATMUL:
+        return model.matmul(*dims)
+    if kind is NodeType.DMATMUL:
+        return model.dmatmul(*dims)
+    if kind is NodeType.DMATINV:
+        return model.dmatinv(*dims)
+    if kind is NodeType.MATSUB:
+        return model.matsub(*dims)
+    if kind is NodeType.MATTP:
+        return model.mattp(*dims)
+    if kind is NodeType.CD:
+        return model.cholesky(*dims)
+    if kind is NodeType.FBSUB:
+        return model.fbsub(*dims)
+    if kind is NodeType.VJAC:
+        return model.vjac(*dims)
+    if kind is NodeType.IJAC:
+        return model.ijac(*dims)
+    raise ValueError(f"unknown node type {kind}")  # pragma: no cover

@@ -1,0 +1,121 @@
+"""The typed macro data-flow graph.
+
+A thin wrapper over a :class:`networkx.DiGraph` whose vertices are
+:class:`~repro.mdfg.nodes.MDFGNode` objects. Provides validation (the
+graph must be a DAG), total/critical-path cost queries, and the
+identical-subgraph search the static scheduler uses for hardware block
+sharing (Sec. 4.1).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import networkx as nx
+
+from repro.errors import GraphError
+from repro.mdfg.cost import CostModel, node_cost
+from repro.mdfg.nodes import MDFGNode, NodeType
+
+
+class MDFG:
+    """A macro data-flow graph."""
+
+    def __init__(self, name: str = "mdfg") -> None:
+        self.name = name
+        self._graph = nx.DiGraph()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def add_node(self, node: MDFGNode) -> MDFGNode:
+        self._graph.add_node(node)
+        return node
+
+    def add(self, node_type: NodeType, dims: tuple[int, ...], label: str = "",
+            after: list[MDFGNode] | None = None) -> MDFGNode:
+        """Create a node, add it, and wire edges from its producers."""
+        node = MDFGNode(node_type, tuple(int(d) for d in dims), label)
+        self._graph.add_node(node)
+        for producer in after or []:
+            self.add_edge(producer, node)
+        return node
+
+    def add_edge(self, producer: MDFGNode, consumer: MDFGNode) -> None:
+        if producer not in self._graph or consumer not in self._graph:
+            raise GraphError("both endpoints must be added before wiring an edge")
+        self._graph.add_edge(producer, consumer)
+
+    def merge(self, other: "MDFG") -> None:
+        """Union another graph's nodes and edges into this one."""
+        self._graph.add_nodes_from(other._graph.nodes)
+        self._graph.add_edges_from(other._graph.edges)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    @property
+    def nodes(self) -> list[MDFGNode]:
+        return list(self._graph.nodes)
+
+    @property
+    def num_nodes(self) -> int:
+        return self._graph.number_of_nodes()
+
+    @property
+    def num_edges(self) -> int:
+        return self._graph.number_of_edges()
+
+    def successors(self, node: MDFGNode) -> list[MDFGNode]:
+        return list(self._graph.successors(node))
+
+    def predecessors(self, node: MDFGNode) -> list[MDFGNode]:
+        return list(self._graph.predecessors(node))
+
+    def validate(self) -> None:
+        """Raise :class:`GraphError` unless the graph is a non-empty DAG."""
+        if self.num_nodes == 0:
+            raise GraphError(f"M-DFG {self.name!r} is empty")
+        if not nx.is_directed_acyclic_graph(self._graph):
+            raise GraphError(f"M-DFG {self.name!r} contains a cycle")
+
+    def topological_order(self) -> list[MDFGNode]:
+        self.validate()
+        return list(nx.topological_sort(self._graph))
+
+    def total_cost(self, model: CostModel | None = None) -> float:
+        """Sum of all node costs: the work a serial executor performs."""
+        return sum(node_cost(n, model) for n in self._graph.nodes)
+
+    def critical_path_cost(self, model: CostModel | None = None) -> float:
+        """Longest weighted path: a bound on fully-parallel latency."""
+        self.validate()
+        best: dict[MDFGNode, float] = {}
+        for node in nx.topological_sort(self._graph):
+            incoming = [best[p] for p in self._graph.predecessors(node)]
+            best[node] = (max(incoming) if incoming else 0.0) + node_cost(node, model)
+        return max(best.values())
+
+    def count_by_type(self) -> dict[NodeType, int]:
+        counts: dict[NodeType, int] = defaultdict(int)
+        for node in self._graph.nodes:
+            counts[node.node_type] += 1
+        return dict(counts)
+
+    # ------------------------------------------------------------------
+    # Identical-subgraph search (hardware sharing)
+    # ------------------------------------------------------------------
+
+    def signature_groups(self) -> dict[tuple, list[MDFGNode]]:
+        """Group nodes by structural signature (type + dims)."""
+        groups: dict[tuple, list[MDFGNode]] = defaultdict(list)
+        for node in self._graph.nodes:
+            groups[node.signature()].append(node)
+        return dict(groups)
+
+    def shareable_signatures(self) -> list[tuple]:
+        """Signatures that occur more than once: candidates for mapping
+        multiple M-DFG nodes onto one physical hardware block."""
+        return [sig for sig, nodes in self.signature_groups().items() if len(nodes) > 1]

@@ -1,0 +1,50 @@
+"""Data-layout optimization (Sec. 3.3).
+
+Alongside the M-DFG, Archytas chooses the storage layout of key data
+structures. The dominant one is the S matrix (40-80% of total on-chip
+storage); the optimizer compares the candidate encodings — dense,
+symmetry-only, symmetric CSR, and the SLAM-specific compact split into
+Si block-diagonals plus a compacted Sc — and picks the cheapest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.linalg.smatrix import SMatrixLayout
+
+
+@dataclass(frozen=True)
+class LayoutDecision:
+    """Chosen S-matrix encoding and the full comparison table."""
+
+    chosen: str
+    words: float
+    candidates: dict[str, float]
+    saving_vs_dense: float
+    saving_vs_csr: float
+
+
+def choose_s_matrix_layout(k: int = 15, b: int = 15) -> LayoutDecision:
+    """Pick the cheapest S-matrix encoding for the given window shape."""
+    layout = SMatrixLayout(k=k, b=b)
+    candidates = {
+        "dense": float(layout.dense_words),
+        "symmetric": float(layout.symmetric_words),
+        "csr-symmetric": float(layout.csr_words(symmetric=True)),
+        "compact-si-sc": float(layout.compact_words),
+    }
+    chosen = min(candidates, key=candidates.get)
+    return LayoutDecision(
+        chosen=chosen,
+        words=candidates[chosen],
+        candidates=candidates,
+        saving_vs_dense=1.0 - candidates[chosen] / candidates["dense"],
+        saving_vs_csr=1.0 - candidates[chosen] / candidates["csr-symmetric"],
+    )
+
+
+def s_matrix_buffer_words(k: int, b: int) -> int:
+    """Words the hardware's Linear System Parameter Buffer must hold,
+    under the compact layout (used by the resource model)."""
+    return SMatrixLayout(k=k, b=b).compact_words

@@ -1,0 +1,79 @@
+"""Primitive M-DFG node types (Tbl. 1 of the paper).
+
+The vocabulary is deliberately coarse: low-level enough to compose any of
+the algorithm's blocks, high-level enough that each node maps onto one
+well-optimized hardware structure.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class NodeType(Enum):
+    """The nine primitive node types of Tbl. 1."""
+
+    DMATINV = "DMatInv"  # diagonal matrix inversion
+    MATMUL = "MatMul"  # dense matrix multiplication
+    DMATMUL = "DMatMul"  # diagonal x dense multiplication
+    MATSUB = "MatSub"  # matrix subtraction (addition)
+    MATTP = "MatTp"  # matrix transpose
+    CD = "CD"  # Cholesky decomposition
+    FBSUB = "FBSub"  # forward + backward substitution
+    VJAC = "VJac"  # visual Jacobian evaluation
+    IJAC = "IJac"  # IMU Jacobian evaluation
+
+
+_node_counter = itertools.count()
+
+
+@dataclass(frozen=True)
+class MDFGNode:
+    """One node of the macro data-flow graph.
+
+    Attributes:
+        node_type: the primitive operation.
+        dims: operation-specific size tuple —
+            MATMUL: (m, k, n) for an (m x k) @ (k x n) product;
+            DMATMUL: (p, n) for diag(p) @ (p x n);
+            DMATINV: (p,); MATSUB / MATTP: (m, n);
+            CD / FBSUB: (m,) for an m x m system;
+            VJAC: (num_observations,); IJAC: (num_links,).
+        label: human-readable role in the graph (e.g. "W U^-1").
+        uid: unique id, auto-assigned; makes nodes hashable for networkx.
+    """
+
+    node_type: NodeType
+    dims: tuple[int, ...]
+    label: str = ""
+    uid: int = field(default_factory=lambda: next(_node_counter))
+
+    def __post_init__(self) -> None:
+        expected = {
+            NodeType.MATMUL: 3,
+            NodeType.DMATMUL: 2,
+            NodeType.DMATINV: 1,
+            NodeType.MATSUB: 2,
+            NodeType.MATTP: 2,
+            NodeType.CD: 1,
+            NodeType.FBSUB: 1,
+            NodeType.VJAC: 1,
+            NodeType.IJAC: 1,
+        }[self.node_type]
+        if len(self.dims) != expected:
+            raise ValueError(
+                f"{self.node_type.value} expects {expected} dims, got {self.dims}"
+            )
+        if any(d < 0 for d in self.dims):
+            raise ValueError(f"dims must be non-negative, got {self.dims}")
+
+    def signature(self) -> tuple:
+        """Structural identity ignoring the uid — used by the scheduler to
+        find identical subgraphs that can share one hardware block."""
+        return (self.node_type, self.dims)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        tag = f" '{self.label}'" if self.label else ""
+        return f"<{self.node_type.value}{self.dims}{tag}>"

@@ -1,0 +1,130 @@
+"""Static scheduling of the M-DFG onto the hardware template (Sec. 4.1).
+
+The M-DFG is known offline, so the schedule is computed once: every node
+is assigned to one of the template's physical blocks (Fig. 5), identical
+subgraphs in the two serialized phases (NLS / marginalization) are mapped
+to the *same* block, and producer-consumer block pairs that stream
+feature-granular data are marked as pipelined.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.errors import ScheduleError
+from repro.mdfg.graph import MDFG
+from repro.mdfg.nodes import MDFGNode, NodeType
+
+
+class HardwareBlockType(Enum):
+    """Physical blocks of the Fig. 5 template."""
+
+    VISUAL_JACOBIAN = "visual-jacobian-unit"
+    IMU_JACOBIAN = "imu-jacobian-unit"
+    PREPARE_LOGIC = "prepare-ab-logic"
+    DSCHUR = "d-type-schur"
+    MSCHUR = "m-type-schur"
+    CHOLESKY = "cholesky"
+    BACK_SUBSTITUTION = "back-substitution"
+    FORM_INFO_LOGIC = "form-information-logic"
+    UPDATE_LOGIC = "update-logic"
+
+
+# Node-type -> block-type routing. MATMUL/MATSUB/DMATMUL/DMATINV nodes are
+# parts of larger Schur computations; they are assigned by subgraph role
+# (the node label assigned by the builder) below.
+_DIRECT_ROUTING = {
+    NodeType.VJAC: HardwareBlockType.VISUAL_JACOBIAN,
+    NodeType.IJAC: HardwareBlockType.IMU_JACOBIAN,
+    NodeType.CD: HardwareBlockType.CHOLESKY,
+    NodeType.FBSUB: HardwareBlockType.BACK_SUBSTITUTION,
+}
+
+_LABEL_ROUTING = {
+    "prepare A, b": HardwareBlockType.PREPARE_LOGIC,
+    "H = J^T J": HardwareBlockType.FORM_INFO_LOGIC,
+    "b = J^T e": HardwareBlockType.FORM_INFO_LOGIC,
+    "update p": HardwareBlockType.UPDATE_LOGIC,
+}
+
+_MSCHUR_LABELS = {
+    "Lambda M^-1",
+    "Lambda M^-1 Lambda^T",
+    "Hp",
+    "Lambda M^-1 b_m",
+    "rp",
+}
+
+
+@dataclass
+class Schedule:
+    """The static mapping from M-DFG nodes to physical blocks."""
+
+    assignments: dict[MDFGNode, HardwareBlockType] = field(default_factory=dict)
+    shared_blocks: dict[HardwareBlockType, int] = field(default_factory=dict)
+    pipelined_pairs: list[tuple[HardwareBlockType, HardwareBlockType]] = field(
+        default_factory=list
+    )
+
+    def nodes_on(self, block: HardwareBlockType) -> list[MDFGNode]:
+        return [n for n, b in self.assignments.items() if b is block]
+
+    @property
+    def num_physical_blocks(self) -> int:
+        return len({b for b in self.assignments.values()})
+
+    def sharing_factor(self, block: HardwareBlockType) -> int:
+        """How many M-DFG nodes time-share this physical block."""
+        return len(self.nodes_on(block))
+
+
+def _route(node: MDFGNode) -> HardwareBlockType:
+    if node.node_type in _DIRECT_ROUTING:
+        return _DIRECT_ROUTING[node.node_type]
+    if node.label in _LABEL_ROUTING:
+        return _LABEL_ROUTING[node.label]
+    if node.label in _MSCHUR_LABELS:
+        return HardwareBlockType.MSCHUR
+    # Everything else (DMatInv/DMatMul/MatMul/MatSub/MatTp inside the
+    # arrow-system solve and the blocked M inverse) is D-type Schur work.
+    if node.node_type in (
+        NodeType.DMATINV,
+        NodeType.DMATMUL,
+        NodeType.MATMUL,
+        NodeType.MATSUB,
+        NodeType.MATTP,
+    ):
+        return HardwareBlockType.DSCHUR
+    raise ScheduleError(f"no routing rule for node {node!r}")  # pragma: no cover
+
+
+def schedule_mdfg(graph: MDFG) -> Schedule:
+    """Statically schedule an M-DFG onto the Fig. 5 template.
+
+    Sharing: because the NLS phase and marginalization are serialized,
+    their identical-signature nodes (notably the D-type Schur work and
+    Cholesky) map to the same physical block — the sharing the paper's
+    scheduler performs by matching identical subgraphs.
+    """
+    graph.validate()
+    schedule = Schedule()
+    for node in graph.topological_order():
+        schedule.assignments[node] = _route(node)
+
+    for block in HardwareBlockType:
+        count = schedule.sharing_factor(block)
+        if count:
+            schedule.shared_blocks[block] = count
+
+    # Pipelining: Jacobian production streams feature-by-feature into the
+    # D-type Schur (Sec. 4.4), and Feature->Observation inside the VJac
+    # unit (Sec. 4.2) — recorded at block granularity for the simulator.
+    if (
+        HardwareBlockType.VISUAL_JACOBIAN in schedule.shared_blocks
+        and HardwareBlockType.DSCHUR in schedule.shared_blocks
+    ):
+        schedule.pipelined_pairs.append(
+            (HardwareBlockType.VISUAL_JACOBIAN, HardwareBlockType.DSCHUR)
+        )
+    return schedule

@@ -1,0 +1,105 @@
+"""The host-side run-time controller (Sec. 6.2).
+
+Per sliding window: read the tracked-feature count from the sensing
+front-end, map it to an iteration count through the offline table,
+smooth with the 2-bit saturating counter, look up the memoized gated
+configuration, and (if it changed) pass the three numbers to the FPGA.
+The controller also does the energy bookkeeping every Sec. 7.6
+experiment reports: per-window energy with and without the dynamic
+optimization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.data.stats import WindowStats
+from repro.hw.config import HardwareConfig
+from repro.hw.fpga import FpgaPlatform, ZC706
+from repro.hw.latency import window_latency_seconds
+from repro.hw.power import DEFAULT_POWER_MODEL, PowerModel
+from repro.runtime.counter import TwoBitSaturatingCounter
+from repro.runtime.profiler import IterationTable, MAX_ITERATIONS
+from repro.runtime.reconfig import ReconfigurationTable
+
+
+@dataclass(frozen=True)
+class WindowDecision:
+    """What the controller decided for one window."""
+
+    feature_count: int
+    proposed_iterations: int
+    applied_iterations: int
+    config: HardwareConfig
+    reconfigured: bool
+    energy_j: float
+    static_energy_j: float  # what the static design would have burned
+
+
+@dataclass
+class RuntimeController:
+    """Drives the accelerator's dynamic re-optimization."""
+
+    table: IterationTable
+    reconfig: ReconfigurationTable
+    platform: FpgaPlatform = ZC706
+    power_model: PowerModel = DEFAULT_POWER_MODEL
+    decisions: list[WindowDecision] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._counter = TwoBitSaturatingCounter(initial=MAX_ITERATIONS)
+        self._active = self.reconfig.static_config
+
+    def iteration_policy(self, feature_count: int) -> int:
+        """Adapter for the estimator's ``iteration_policy`` hook: applies
+        table lookup + saturating-counter smoothing."""
+        proposal = self.table.lookup(feature_count)
+        return self._counter.update(proposal)
+
+    def process_window(self, stats: WindowStats) -> WindowDecision:
+        """Full per-window decision + energy accounting."""
+        proposal = self.table.lookup(stats.num_features)
+        applied = self._counter.update(proposal)
+        config = self.reconfig.lookup(applied)
+        reconfigured = config != self._active
+        self._active = config
+
+        seconds = window_latency_seconds(stats, config, applied, self.platform)
+        power = self.reconfig.gated_power(applied)
+        energy = seconds * power
+
+        static_config = self.reconfig.static_config
+        static_seconds = window_latency_seconds(
+            stats, static_config, MAX_ITERATIONS, self.platform
+        )
+        static_energy = static_seconds * self.power_model.power(static_config)
+
+        decision = WindowDecision(
+            feature_count=stats.num_features,
+            proposed_iterations=proposal,
+            applied_iterations=applied,
+            config=config,
+            reconfigured=reconfigured,
+            energy_j=energy,
+            static_energy_j=static_energy,
+        )
+        self.decisions.append(decision)
+        return decision
+
+    @property
+    def total_energy_j(self) -> float:
+        return sum(d.energy_j for d in self.decisions)
+
+    @property
+    def total_static_energy_j(self) -> float:
+        return sum(d.static_energy_j for d in self.decisions)
+
+    @property
+    def energy_saving(self) -> float:
+        """Fractional energy saved vs the static design (Sec. 7.6)."""
+        static = self.total_static_energy_j
+        return 1.0 - self.total_energy_j / static if static > 0 else 0.0
+
+    @property
+    def num_reconfigurations(self) -> int:
+        return sum(1 for d in self.decisions if d.reconfigured)

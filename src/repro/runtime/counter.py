@@ -1,0 +1,48 @@
+"""The 2-bit saturating counter that smooths iteration-count changes.
+
+Sec. 6.2: "Iter is adjusted when the number of feature points maps to a
+different Iter in two consecutive sliding windows." A classic 2-bit
+hysteresis: a single noisy window does not trigger a reconfiguration,
+two consecutive agreeing windows do.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+
+class TwoBitSaturatingCounter:
+    """Hysteresis filter over proposed iteration counts.
+
+    State: the currently-applied value plus a pending proposal with a
+    confidence counter. A new proposal replaces the pending one and
+    resets confidence; a repeated proposal increments it; at
+    ``threshold`` consecutive agreements the proposal is applied.
+    """
+
+    def __init__(self, initial: int, threshold: int = 2) -> None:
+        if threshold < 1:
+            raise ConfigurationError("threshold must be >= 1")
+        self.current = initial
+        self.threshold = threshold
+        self._pending: int | None = None
+        self._confidence = 0
+        self.transitions = 0
+
+    def update(self, proposal: int) -> int:
+        """Feed one window's proposed value; returns the applied value."""
+        if proposal == self.current:
+            self._pending = None
+            self._confidence = 0
+            return self.current
+        if proposal == self._pending:
+            self._confidence += 1
+        else:
+            self._pending = proposal
+            self._confidence = 1
+        if self._confidence >= self.threshold:
+            self.current = proposal
+            self._pending = None
+            self._confidence = 0
+            self.transitions += 1
+        return self.current

@@ -1,0 +1,78 @@
+"""The host-FPGA interface model (Sec. 6.2's zero-overhead claim).
+
+Each sliding window the host transfers: the visual features from the
+sensing front-end (bearing + pixel per observation), the IMU
+preintegration summaries, the prior from the previous marginalization —
+and, when the run-time system changed its decision, exactly three
+configuration bytes (nd, nm, s). This module sizes those transfers over
+an AXI-style link and shows the claim quantitatively: the transfer plus
+the table lookups are a negligible fraction of the window's compute
+time, and the *re-optimization itself costs nothing at run time* because
+every decision was memoized offline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.stats import WindowStats
+from repro.errors import ConfigurationError
+
+WORD_BYTES = 4
+# Per-item payload sizes (bytes).
+FEATURE_BEARING_BYTES = 3 * WORD_BYTES  # anchor ray
+OBSERVATION_BYTES = 2 * WORD_BYTES + 2  # pixel + keyframe index
+PRIOR_BYTES_PER_STATE = 15 * WORD_BYTES  # rp slice; Hp streamed once per slide
+CONFIG_BYTES = 3  # the three numbers of Sec. 6.2
+
+
+@dataclass(frozen=True)
+class HostLink:
+    """An AXI-style host-to-fabric link.
+
+    Attributes:
+        bandwidth_bytes_per_s: sustained DMA throughput (a modest
+            AXI4 HP port on Zynq-7000 sustains ~1.2-1.6 GB/s).
+        setup_latency_s: per-transfer setup (descriptor + interrupt).
+    """
+
+    bandwidth_bytes_per_s: float = 1.2e9
+    setup_latency_s: float = 5e-6
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bytes_per_s <= 0 or self.setup_latency_s < 0:
+            raise ConfigurationError("invalid link parameters")
+
+    def transfer_seconds(self, payload_bytes: float) -> float:
+        return self.setup_latency_s + payload_bytes / self.bandwidth_bytes_per_s
+
+
+def window_payload_bytes(stats: WindowStats, reconfigured: bool = False) -> float:
+    """Bytes the host ships to the FPGA for one sliding window."""
+    observations = stats.num_observations or int(
+        round(stats.num_features * stats.avg_observations)
+    )
+    prior_states = stats.state_size * max(stats.num_keyframes - 1, 1)
+    payload = (
+        stats.num_features * FEATURE_BEARING_BYTES
+        + observations * OBSERVATION_BYTES
+        + prior_states * WORD_BYTES  # rp vector
+        + prior_states * prior_states * WORD_BYTES / 2  # Hp upper triangle
+    )
+    if reconfigured:
+        payload += CONFIG_BYTES
+    return payload
+
+
+def interface_overhead_fraction(
+    stats: WindowStats,
+    compute_seconds: float,
+    link: HostLink | None = None,
+    reconfigured: bool = False,
+) -> float:
+    """Transfer time as a fraction of the window's compute time."""
+    if compute_seconds <= 0:
+        raise ConfigurationError("compute_seconds must be positive")
+    link = link or HostLink()
+    transfer = link.transfer_seconds(window_payload_bytes(stats, reconfigured))
+    return transfer / compute_seconds

@@ -1,0 +1,91 @@
+"""A learned iteration policy (the paper's future-work extension).
+
+Sec. 6.2 closes: "We leave it to future work to explore other mechanisms
+to tune the knob (e.g., training a machine learning model)." This module
+implements that extension: a ridge-regression model over simple window
+features (feature count and its reciprocal) trained on the same offline
+profiling data the lookup table uses. The model predicts the iteration
+count needed to reach the accuracy target, produces a *continuous*
+estimate (then conservatively ceiled), and generalizes between the
+lookup table's bucket edges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.runtime.profiler import MAX_ITERATIONS
+
+
+def _features(count: float) -> np.ndarray:
+    """Feature map for the regressor: [1, n, 1/n, log n]."""
+    n = max(float(count), 1.0)
+    return np.array([1.0, n / 100.0, 10.0 / n, np.log(n)])
+
+
+@dataclass(frozen=True)
+class LearnedIterationPolicy:
+    """Ridge regression from window features to required iterations."""
+
+    weights: np.ndarray
+    accuracy_target: float
+
+    def predict(self, feature_count: int) -> int:
+        """Conservatively ceiled, clamped prediction."""
+        raw = float(self.weights @ _features(feature_count))
+        return int(np.clip(np.ceil(raw), 1, MAX_ITERATIONS))
+
+    def __call__(self, feature_count: int) -> int:
+        return self.predict(feature_count)
+
+
+def train_iteration_policy(
+    profile: dict[int, list[tuple[int, float]]],
+    accuracy_target: float | None = None,
+    ridge: float = 1e-3,
+) -> LearnedIterationPolicy:
+    """Fit the policy from profiling data.
+
+    Training pairs: for every profiled window, the label is the smallest
+    iteration cap whose error meets the accuracy target (default: 110%
+    of the error the maximum cap achieves on that window).
+
+    Args:
+        profile: cap -> [(feature_count, error), ...] as produced by
+            :func:`repro.runtime.profiler.profile_accuracy_vs_iterations`.
+        accuracy_target: absolute error target [m]; None derives a
+            per-window relative target.
+        ridge: L2 regularization strength.
+    """
+    if not profile:
+        raise ConfigurationError("profile must not be empty")
+    caps = sorted(profile)
+    max_cap = caps[-1]
+    num_windows = len(profile[max_cap])
+    if any(len(samples) != num_windows for samples in profile.values()):
+        raise ConfigurationError("profile caps cover different window sets")
+
+    rows, labels = [], []
+    for w in range(num_windows):
+        count, reference_error = profile[max_cap][w]
+        target = (
+            accuracy_target if accuracy_target is not None else reference_error * 1.10
+        )
+        needed = max_cap
+        for cap in caps:
+            if profile[cap][w][1] <= target:
+                needed = cap
+                break
+        rows.append(_features(count))
+        labels.append(float(needed))
+    design = np.vstack(rows)
+    target_vec = np.asarray(labels)
+    gram = design.T @ design + ridge * np.eye(design.shape[1])
+    weights = np.linalg.solve(gram, design.T @ target_vec)
+    return LearnedIterationPolicy(
+        weights=weights,
+        accuracy_target=accuracy_target if accuracy_target is not None else -1.0,
+    )

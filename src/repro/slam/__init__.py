@@ -1,0 +1,44 @@
+"""The MAP sliding-window estimator — the algorithm Archytas accelerates.
+
+Implements the full pipeline of Fig. 2: a Levenberg-Marquardt nonlinear
+least-squares solver over the windowed visual-inertial MAP objective
+(Equ. 2), with Schur elimination of the (inverse-depth) landmark block —
+the D-type Schur of Sec. 3.2.2 — and marginalization of departing
+variables into a prior via the M-type Schur of Sec. 3.2.3.
+
+Landmarks use the inverse-depth parameterization (one scalar per
+feature, anchored at its first observing keyframe), which is exactly why
+the eliminated ``U`` block is *diagonal* and the paper's D-type Schur
+applies.
+"""
+
+from repro.slam.problem import WindowProblem, LinearSystem
+from repro.slam.residuals import VisualFactor, ImuFactor, PriorFactor
+from repro.slam.nls import LMConfig, LMResult, levenberg_marquardt
+from repro.slam.marginalization import marginalize_window
+from repro.slam.estimator import EstimatorConfig, SlidingWindowEstimator, WindowResult
+from repro.slam.metrics import (
+    absolute_trajectory_error,
+    rmse,
+    relative_errors,
+    translational_error_cm,
+)
+
+__all__ = [
+    "WindowProblem",
+    "LinearSystem",
+    "VisualFactor",
+    "ImuFactor",
+    "PriorFactor",
+    "LMConfig",
+    "LMResult",
+    "levenberg_marquardt",
+    "marginalize_window",
+    "EstimatorConfig",
+    "SlidingWindowEstimator",
+    "WindowResult",
+    "absolute_trajectory_error",
+    "rmse",
+    "relative_errors",
+    "translational_error_cm",
+]

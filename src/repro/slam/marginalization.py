@@ -1,0 +1,165 @@
+"""Marginalization: fold departing variables into a prior (Sec. 3.1/3.2.3).
+
+When the window slides, the oldest keyframe's 15-DoF state and every
+feature *anchored* at it are marginalized. The joint information of the
+participating factors is blocked as ``[[M, Lambda^T], [Lambda, A]]`` with
+the marginalized variables ordered landmarks-first, which makes the
+leading sub-block of ``M`` diagonal — the cost-optimal blocking of
+Sec. 3.2.3 that lets the hardware reuse the D-type Schur unit inside the
+M-type Schur computation. The Schur complement ``Hp = A - Lambda M^-1
+Lambda^T`` and ``rp = br - Lambda M^-1 bm`` become the next window's
+:class:`~repro.slam.residuals.PriorFactor`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geometry.navstate import NavState, STATE_DIM
+from repro.linalg.schur import m_type_schur
+from repro.slam.problem import POSE_DOF, WindowProblem, _U_FLOOR
+from repro.slam.residuals import PriorFactor
+
+
+@dataclass
+class MarginalizationResult:
+    """The new prior plus bookkeeping for the estimator."""
+
+    prior: PriorFactor | None
+    marginalized_features: list[int]
+    removed_visual_factors: int
+    removed_imu_factors: int
+
+
+def marginalize_window(problem: WindowProblem, marg_frame_id: int) -> MarginalizationResult:
+    """Marginalize one keyframe (and its anchored features) out of ``problem``.
+
+    Args:
+        problem: the optimized window problem (linearized at its current
+            estimates — we use the same estimates as linearization point).
+        marg_frame_id: keyframe to remove; must be in ``problem.states``.
+
+    Returns:
+        A :class:`MarginalizationResult` whose ``prior`` constrains the
+        remaining keyframes that shared factors with the departing
+        variables (None when nothing couples to them).
+    """
+    if marg_frame_id not in problem.states:
+        raise ValueError(f"keyframe {marg_frame_id} is not in the window")
+
+    marg_features = sorted(
+        {f.feature_id for f in problem.visual_factors if f.anchor == marg_frame_id}
+    )
+    visual = [f for f in problem.visual_factors if f.anchor == marg_frame_id]
+    imu = [
+        f
+        for f in problem.imu_factors
+        if marg_frame_id in (f.frame_i, f.frame_j)
+    ]
+    priors = [p for p in problem.priors if marg_frame_id in p.frame_ids]
+
+    involved_frames = {marg_frame_id}
+    for f in visual:
+        involved_frames.add(f.target)
+    for f in imu:
+        involved_frames.update((f.frame_i, f.frame_j))
+    for p in priors:
+        involved_frames.update(p.frame_ids)
+    keep_frames = sorted(involved_frames - {marg_frame_id})
+
+    num_marg_feat = len(marg_features)
+    marg_dim = num_marg_feat + STATE_DIM
+    keep_dim = STATE_DIM * len(keep_frames)
+    total = marg_dim + keep_dim
+
+    if keep_dim == 0:
+        # Nothing couples to the departing variables; their information
+        # simply leaves the problem.
+        return MarginalizationResult(None, marg_features, len(visual), len(imu))
+
+    # Variable layout: [marg features | marg keyframe | keep keyframes].
+    feature_index = {fid: i for i, fid in enumerate(marg_features)}
+    frame_offset = {marg_frame_id: num_marg_feat}
+    for i, fid in enumerate(keep_frames):
+        frame_offset[fid] = marg_dim + STATE_DIM * i
+
+    h_full = np.zeros((total, total))
+    g_full = np.zeros(total)
+
+    for factor in visual:
+        lin = factor.linearize(
+            problem.camera,
+            problem.states[factor.anchor],
+            problem.states[factor.target],
+            problem.inv_depths[factor.feature_id],
+        )
+        if lin is None:
+            continue
+        # Respect the problem's robust kernel: an outlier track must not
+        # enter the prior at full quadratic weight (the prior is never
+        # re-evaluated, so baked-in outliers poison every later window).
+        robust_scale = problem._huber_scale(lin.residual)
+        if problem.huber_delta is not None and robust_scale < 0.2:
+            continue  # gross outlier: exclude from the prior entirely
+        cols_f = [feature_index[factor.feature_id]]
+        cols_h = list(range(frame_offset[factor.anchor], frame_offset[factor.anchor] + POSE_DOF))
+        cols_t = list(range(frame_offset[factor.target], frame_offset[factor.target] + POSE_DOF))
+        jacobian = np.zeros((2, total))
+        jacobian[:, cols_f] = lin.jac_inv_depth
+        jacobian[:, cols_h] += lin.jac_pose_anchor
+        jacobian[:, cols_t] += lin.jac_pose_target
+        weight = lin.weight * robust_scale
+        h_full += weight * (jacobian.T @ jacobian)
+        g_full -= weight * (jacobian.T @ lin.residual)
+
+    for factor in imu:
+        lin = factor.linearize(problem.states[factor.frame_i], problem.states[factor.frame_j])
+        jacobian = np.zeros((15, total))
+        oi, oj = frame_offset[factor.frame_i], frame_offset[factor.frame_j]
+        jacobian[:, oi : oi + STATE_DIM] = lin.jac_i
+        jacobian[:, oj : oj + STATE_DIM] = lin.jac_j
+        weighted = jacobian.T @ lin.information
+        h_full += weighted @ jacobian
+        g_full -= weighted @ lin.residual
+
+    for prior in priors:
+        h_prior, g_prior = prior.contribution(problem.states)
+        idx = np.concatenate(
+            [frame_offset[fid] + np.arange(STATE_DIM) for fid in prior.frame_ids]
+        )
+        h_full[np.ix_(idx, idx)] += h_prior
+        g_full[idx] += g_prior
+
+    # Regularize the landmark diagonal so weakly-observed features do not
+    # make M singular.
+    for i in range(num_marg_feat):
+        if h_full[i, i] < _U_FLOOR:
+            h_full[i, i] = _U_FLOOR
+
+    m_block = h_full[:marg_dim, :marg_dim]
+    lam = h_full[marg_dim:, :marg_dim]
+    a_block = h_full[marg_dim:, marg_dim:]
+    hp, rp = m_type_schur(
+        a_block,
+        lam,
+        m_block,
+        b_m=g_full[:marg_dim],
+        b_r=g_full[marg_dim:],
+        m_diagonal_split=num_marg_feat if num_marg_feat else None,
+    )
+
+    # Guard against negative eigenvalues from floating-point cancellation
+    # (they would make later windows indefinite).
+    eigvals = np.linalg.eigvalsh(hp)
+    if eigvals[0] < 0.0:
+        hp = hp + (1e-9 - eigvals[0]) * np.eye(hp.shape[0])
+
+    prior = PriorFactor(
+        frame_ids=keep_frames,
+        hp=hp,
+        rp=rp,
+        lin_states=[problem.states[fid] for fid in keep_frames],
+    )
+    return MarginalizationResult(prior, marg_features, len(visual), len(imu))

@@ -1,0 +1,74 @@
+"""Accuracy metrics: RMSE / ATE / relative error (Figs. 11-12, Sec. 7.6)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def rmse(errors: np.ndarray) -> float:
+    """Root mean square of a vector of scalar errors."""
+    errors = np.asarray(errors, dtype=float).ravel()
+    if errors.size == 0:
+        return 0.0
+    return float(np.sqrt(np.mean(errors * errors)))
+
+
+def umeyama_alignment(
+    estimated: np.ndarray, reference: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Least-squares rigid alignment (rotation, translation) est -> ref.
+
+    The standard trajectory-evaluation preprocessing: SLAM estimates are
+    defined up to a global rigid transform (the gauge), so ATE is
+    measured after the best SE(3) alignment.
+    """
+    estimated = np.asarray(estimated, dtype=float).reshape(-1, 3)
+    reference = np.asarray(reference, dtype=float).reshape(-1, 3)
+    if estimated.shape != reference.shape or len(estimated) < 3:
+        raise ValueError("need matching position arrays with >= 3 points")
+    mu_e = estimated.mean(axis=0)
+    mu_r = reference.mean(axis=0)
+    cov = (reference - mu_r).T @ (estimated - mu_e) / len(estimated)
+    u, _, vt = np.linalg.svd(cov)
+    sign = np.sign(np.linalg.det(u @ vt))
+    d = np.diag([1.0, 1.0, sign])
+    rotation = u @ d @ vt
+    translation = mu_r - rotation @ mu_e
+    return rotation, translation
+
+
+def absolute_trajectory_error(
+    estimated: np.ndarray, reference: np.ndarray, align: bool = True
+) -> float:
+    """ATE RMSE [m] between estimated and reference position sequences."""
+    estimated = np.asarray(estimated, dtype=float).reshape(-1, 3)
+    reference = np.asarray(reference, dtype=float).reshape(-1, 3)
+    if align and len(estimated) >= 3:
+        rotation, translation = umeyama_alignment(estimated, reference)
+        estimated = estimated @ rotation.T + translation
+    return rmse(np.linalg.norm(estimated - reference, axis=1))
+
+
+def relative_errors(
+    estimated: np.ndarray, reference: np.ndarray, stride: int = 1
+) -> np.ndarray:
+    """Per-step relative translation errors [m].
+
+    Compares the estimated displacement over ``stride`` keyframes to the
+    true displacement — drift-free, so it isolates per-window quality
+    (the "relative error" of Fig. 11).
+    """
+    estimated = np.asarray(estimated, dtype=float).reshape(-1, 3)
+    reference = np.asarray(reference, dtype=float).reshape(-1, 3)
+    if len(estimated) <= stride:
+        return np.zeros(0)
+    d_est = estimated[stride:] - estimated[:-stride]
+    d_ref = reference[stride:] - reference[:-stride]
+    return np.linalg.norm(d_est - d_ref, axis=1)
+
+
+def translational_error_cm(estimated: np.ndarray, reference: np.ndarray) -> float:
+    """Mean translational error in centimeters (Sec. 7.6 reports cm)."""
+    estimated = np.asarray(estimated, dtype=float).reshape(-1, 3)
+    reference = np.asarray(reference, dtype=float).reshape(-1, 3)
+    return float(np.mean(np.linalg.norm(estimated - reference, axis=1)) * 100.0)

@@ -1,0 +1,268 @@
+"""Assembly of the windowed MAP problem into the structured linear system.
+
+The normal equations of one Gauss-Newton/LM iteration have the arrow
+structure the paper's M-DFG exploits (Sec. 3.2.2):
+
+    [[ U, W^T ],   [ d_lambda ]   =  [ b_x ]
+     [ W, V   ]]   [ d_state  ]      [ b_y ]
+
+with ``U`` *diagonal* (one inverse-depth scalar per feature point),
+``W`` the feature-to-keyframe coupling, and ``V`` the dense keyframe
+block of size ``15 b``. :class:`WindowProblem` owns the factors and the
+current estimates; :meth:`WindowProblem.build_linear_system` performs the
+linearization (the VJac/IJac work) and block accumulation ("Logics to
+Prepare A, b" in Fig. 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import SolverError
+from repro.geometry.camera import PinholeCamera
+from repro.geometry.navstate import NavState, STATE_DIM
+from repro.linalg.cholesky import cholesky_evaluate_update, solve_cholesky
+from repro.linalg.schur import d_type_back_substitute, d_type_schur
+from repro.slam.residuals import ImuFactor, PriorFactor, VisualFactor
+
+POSE_DOF = 6
+MIN_INV_DEPTH = 1e-4
+MAX_INV_DEPTH = 1e2
+_U_FLOOR = 1e-8
+
+
+@dataclass
+class LinearSystem:
+    """The structured normal equations of one iteration."""
+
+    u_diag: np.ndarray  # (p,) diagonal landmark block
+    w_block: np.ndarray  # (q, p) coupling
+    v_block: np.ndarray  # (q, q) keyframe block
+    b_x: np.ndarray  # (p,)
+    b_y: np.ndarray  # (q,)
+    feature_ids: list[int]
+    frame_ids: list[int]
+
+    def solve(self, damping: float = 0.0) -> tuple[np.ndarray, np.ndarray]:
+        """Schur-eliminate the landmarks and solve for all unknowns.
+
+        This is the exact computation the accelerator's NLS data path
+        performs: D-type Schur -> Cholesky -> forward/backward
+        substitution -> landmark back-substitution.
+
+        Returns:
+            (d_lambda, d_state): landmark and keyframe tangent updates.
+        """
+        u_damped = np.maximum(self.u_diag, _U_FLOOR) + damping
+        v_damped = self.v_block + damping * np.eye(self.v_block.shape[0])
+        reduced, reduced_rhs = d_type_schur(
+            v_damped, self.w_block, u_damped, b_x=self.b_x, b_y=self.b_y
+        )
+        assert reduced_rhs is not None
+        factor, _ = cholesky_evaluate_update(reduced, jitter=1e-9)
+        d_state = solve_cholesky(factor, reduced_rhs)
+        d_lambda = d_type_back_substitute(self.w_block, u_damped, self.b_x, d_state)
+        return d_lambda, d_state
+
+    @property
+    def num_features(self) -> int:
+        return len(self.feature_ids)
+
+    @property
+    def num_frames(self) -> int:
+        return len(self.frame_ids)
+
+
+@dataclass
+class WindowProblem:
+    """The MAP problem of one sliding window.
+
+    Attributes:
+        camera: shared camera intrinsics.
+        states: keyframe id -> current 15-DoF state estimate.
+        inv_depths: feature id -> current inverse-depth estimate.
+        visual_factors / imu_factors / priors: the factor graph.
+    """
+
+    camera: PinholeCamera
+    states: dict[int, NavState]
+    inv_depths: dict[int, float]
+    visual_factors: list[VisualFactor] = field(default_factory=list)
+    imu_factors: list[ImuFactor] = field(default_factory=list)
+    priors: list[PriorFactor] = field(default_factory=list)
+    # Optional Huber robust kernel on the visual residuals [px]; None
+    # disables it. Implemented as iteratively-reweighted least squares:
+    # residuals beyond huber_delta get their weight scaled down by
+    # delta / |r|, bounding any single mismatched track's influence.
+    huber_delta: float | None = None
+
+    def __post_init__(self) -> None:
+        for factor in self.visual_factors:
+            if factor.anchor not in self.states or factor.target not in self.states:
+                raise SolverError(
+                    f"visual factor {factor.feature_id} references unknown keyframes"
+                )
+            if factor.feature_id not in self.inv_depths:
+                raise SolverError(f"no inverse depth for feature {factor.feature_id}")
+        for factor in self.imu_factors:
+            if factor.frame_i not in self.states or factor.frame_j not in self.states:
+                raise SolverError("IMU factor references unknown keyframes")
+
+    # ------------------------------------------------------------------
+    # Cost evaluation
+    # ------------------------------------------------------------------
+
+    def _huber_scale(self, residual: np.ndarray) -> float:
+        """IRLS weight multiplier of the Huber kernel (1 inside delta)."""
+        if self.huber_delta is None:
+            return 1.0
+        norm = float(np.linalg.norm(residual))
+        return 1.0 if norm <= self.huber_delta else self.huber_delta / norm
+
+    def _visual_cost(self, residual: np.ndarray, weight: float) -> float:
+        """Quadratic or Huber cost of one visual residual."""
+        squared = float(residual @ residual)
+        if self.huber_delta is None:
+            return 0.5 * weight * squared
+        norm = np.sqrt(squared)
+        delta = self.huber_delta
+        if norm <= delta:
+            return 0.5 * weight * squared
+        return weight * delta * (norm - 0.5 * delta)
+
+    def cost(self) -> float:
+        """Total MAP objective at the current estimates."""
+        total = 0.0
+        for factor in self.visual_factors:
+            residual = factor.residual_only(
+                self.camera,
+                self.states[factor.anchor],
+                self.states[factor.target],
+                self.inv_depths[factor.feature_id],
+            )
+            if residual is not None:
+                total += self._visual_cost(residual, factor.weight)
+        for factor in self.imu_factors:
+            lin = factor.linearize(self.states[factor.frame_i], self.states[factor.frame_j])
+            total += 0.5 * float(lin.residual @ lin.information @ lin.residual)
+        for prior in self.priors:
+            total += prior.cost(self.states)
+        return total
+
+    # ------------------------------------------------------------------
+    # Linearization and assembly
+    # ------------------------------------------------------------------
+
+    def build_linear_system(self) -> LinearSystem:
+        """Linearize every factor and accumulate the arrow system."""
+        frame_ids = sorted(self.states)
+        feature_ids = sorted(self.inv_depths)
+        frame_index = {fid: i for i, fid in enumerate(frame_ids)}
+        feature_index = {fid: i for i, fid in enumerate(feature_ids)}
+        p = len(feature_ids)
+        q = STATE_DIM * len(frame_ids)
+
+        u_diag = np.zeros(p)
+        w_block = np.zeros((q, p))
+        v_block = np.zeros((q, q))
+        b_x = np.zeros(p)
+        b_y = np.zeros(q)
+
+        for factor in self.visual_factors:
+            lin = factor.linearize(
+                self.camera,
+                self.states[factor.anchor],
+                self.states[factor.target],
+                self.inv_depths[factor.feature_id],
+            )
+            if lin is None:
+                continue
+            f = feature_index[factor.feature_id]
+            h = STATE_DIM * frame_index[factor.anchor]
+            j = STATE_DIM * frame_index[factor.target]
+            w = lin.weight * self._huber_scale(lin.residual)
+            jl = lin.jac_inv_depth  # (2, 1)
+            jh = lin.jac_pose_anchor  # (2, 6)
+            jt = lin.jac_pose_target  # (2, 6)
+            r = lin.residual
+
+            u_diag[f] += w * float((jl.T @ jl).item())
+            b_x[f] -= w * float((jl.T @ r).item())
+
+            w_block[h : h + POSE_DOF, f] += w * (jh.T @ jl).ravel()
+            w_block[j : j + POSE_DOF, f] += w * (jt.T @ jl).ravel()
+
+            v_block[h : h + POSE_DOF, h : h + POSE_DOF] += w * (jh.T @ jh)
+            v_block[j : j + POSE_DOF, j : j + POSE_DOF] += w * (jt.T @ jt)
+            cross = w * (jh.T @ jt)
+            v_block[h : h + POSE_DOF, j : j + POSE_DOF] += cross
+            v_block[j : j + POSE_DOF, h : h + POSE_DOF] += cross.T
+
+            b_y[h : h + POSE_DOF] -= w * (jh.T @ r)
+            b_y[j : j + POSE_DOF] -= w * (jt.T @ r)
+
+        for factor in self.imu_factors:
+            lin = factor.linearize(self.states[factor.frame_i], self.states[factor.frame_j])
+            i = STATE_DIM * frame_index[factor.frame_i]
+            j = STATE_DIM * frame_index[factor.frame_j]
+            info = lin.information
+            ji, jj, r = lin.jac_i, lin.jac_j, lin.residual
+            ji_w = ji.T @ info
+            jj_w = jj.T @ info
+            v_block[i : i + STATE_DIM, i : i + STATE_DIM] += ji_w @ ji
+            v_block[j : j + STATE_DIM, j : j + STATE_DIM] += jj_w @ jj
+            cross = ji_w @ jj
+            v_block[i : i + STATE_DIM, j : j + STATE_DIM] += cross
+            v_block[j : j + STATE_DIM, i : i + STATE_DIM] += cross.T
+            b_y[i : i + STATE_DIM] -= ji_w @ r
+            b_y[j : j + STATE_DIM] -= jj_w @ r
+
+        for prior in self.priors:
+            h_prior, g_prior = prior.contribution(self.states)
+            idx = np.concatenate(
+                [
+                    STATE_DIM * frame_index[fid] + np.arange(STATE_DIM)
+                    for fid in prior.frame_ids
+                ]
+            )
+            v_block[np.ix_(idx, idx)] += h_prior
+            b_y[idx] += g_prior
+
+        return LinearSystem(
+            u_diag=u_diag,
+            w_block=w_block,
+            v_block=v_block,
+            b_x=b_x,
+            b_y=b_y,
+            feature_ids=feature_ids,
+            frame_ids=frame_ids,
+        )
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+
+    def stepped(
+        self, d_lambda: np.ndarray, d_state: np.ndarray, system: LinearSystem
+    ) -> "WindowProblem":
+        """Return a copy of the problem with the solution step applied."""
+        new_states = dict(self.states)
+        for i, fid in enumerate(system.frame_ids):
+            delta = d_state[STATE_DIM * i : STATE_DIM * (i + 1)]
+            new_states[fid] = new_states[fid].retract(delta)
+        new_depths = dict(self.inv_depths)
+        for i, fid in enumerate(system.feature_ids):
+            new_depths[fid] = float(
+                np.clip(new_depths[fid] + d_lambda[i], MIN_INV_DEPTH, MAX_INV_DEPTH)
+            )
+        return WindowProblem(
+            camera=self.camera,
+            states=new_states,
+            inv_depths=new_depths,
+            visual_factors=self.visual_factors,
+            imu_factors=self.imu_factors,
+            priors=self.priors,
+            huber_delta=self.huber_delta,
+        )

@@ -1,0 +1,53 @@
+"""The hardware synthesizer (Sec. 5).
+
+Given a latency constraint, a resource budget (an FPGA platform), and a
+workload, the synthesizer solves the constrained optimization of Equ. 11
+(minimize power) or Equ. 12 (minimize latency) over the (nd, nm, s)
+design space, then emits the concrete accelerator (the RTL of
+:mod:`repro.hw.rtl`). The solver is exact: the 90,000-point space is
+searched with monotonicity pruning in milliseconds, strictly stronger
+than the paper's near-optimal mixed-integer convex solve.
+"""
+
+from repro.synth.spec import DesignSpec, Objective
+from repro.synth.relaxation import relaxation_search
+from repro.synth.optimizer import (
+    exhaustive_search,
+    pruned_search,
+    minimize_power,
+    minimize_latency,
+)
+from repro.synth.synthesizer import (
+    SynthesisResult,
+    synthesize,
+    high_perf_design,
+    low_power_design,
+    biggest_fit_design,
+)
+from repro.synth.pareto import ParetoPoint, pareto_frontier, perturb_and_validate
+from repro.synth.dse import (
+    design_space_metrics,
+    exhaustive_flow_years,
+    generator_seconds,
+)
+
+__all__ = [
+    "DesignSpec",
+    "Objective",
+    "exhaustive_search",
+    "pruned_search",
+    "minimize_power",
+    "minimize_latency",
+    "relaxation_search",
+    "SynthesisResult",
+    "synthesize",
+    "high_perf_design",
+    "low_power_design",
+    "biggest_fit_design",
+    "ParetoPoint",
+    "pareto_frontier",
+    "perturb_and_validate",
+    "design_space_metrics",
+    "exhaustive_flow_years",
+    "generator_seconds",
+]

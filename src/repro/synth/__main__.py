@@ -1,0 +1,101 @@
+"""CLI synthesizer: ``python -m repro.synth --latency-ms 20 --board zc706``.
+
+The command-line face of the framework: constraints in, design summary
+and (optionally) Verilog files out.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.errors import InfeasibleDesignError
+from repro.hw.fpga import FPGA_CATALOG
+from repro.synth.spec import DesignSpec, Objective
+from repro.synth.synthesizer import synthesize
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.synth",
+        description="Synthesize a localization accelerator from constraints.",
+    )
+    parser.add_argument(
+        "--latency-ms",
+        type=float,
+        default=20.0,
+        help="per-window latency budget in milliseconds (default 20)",
+    )
+    parser.add_argument(
+        "--board",
+        choices=sorted(FPGA_CATALOG),
+        default="zc706",
+        help="target FPGA platform",
+    )
+    parser.add_argument(
+        "--objective",
+        choices=["power", "latency"],
+        default="power",
+        help="minimize power under the budget (Equ. 11) or latency (Equ. 12)",
+    )
+    parser.add_argument(
+        "--iterations",
+        type=int,
+        default=6,
+        help="NLS iteration count the design must accommodate",
+    )
+    parser.add_argument(
+        "--resource-budget",
+        type=float,
+        default=1.0,
+        help="usable fraction of each FPGA resource (routing headroom)",
+    )
+    parser.add_argument(
+        "--emit",
+        metavar="DIR",
+        default=None,
+        help="write the generated Verilog (and testbench) into DIR",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    spec = DesignSpec(
+        latency_budget_s=args.latency_ms / 1e3,
+        platform=FPGA_CATALOG[args.board],
+        resource_budget=args.resource_budget,
+        iterations=args.iterations,
+        objective=Objective(args.objective),
+    )
+    try:
+        design = synthesize(spec)
+    except InfeasibleDesignError as error:
+        print(f"infeasible: {error}", file=sys.stderr)
+        return 1
+
+    print(f"board      : {spec.platform.name}")
+    print(f"design     : nd={design.config.nd} nm={design.config.nm} s={design.config.s}")
+    print(f"latency    : {design.latency_s * 1e3:.2f} ms/window")
+    print(f"power      : {design.power_w:.2f} W")
+    print("utilization: " + "  ".join(
+        f"{k}={100 * v:.0f}%" for k, v in design.utilization.items()
+    ))
+    print(f"solved in  : {design.solve_seconds * 1e3:.1f} ms")
+
+    if args.emit:
+        from repro.hw.rtl import emit_testbench
+
+        out_dir = Path(args.emit)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        files = design.emit_verilog()
+        files["archytas_tb.v"] = emit_testbench(design.config)
+        for name, source in files.items():
+            (out_dir / name).write_text(source)
+        print(f"wrote {len(files)} Verilog files to {out_dir}/")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

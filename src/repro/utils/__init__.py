@@ -1,0 +1,22 @@
+"""Small shared helpers: argument validation and seeded randomness."""
+
+from repro.utils.validation import (
+    check_finite,
+    check_positive,
+    check_positive_int,
+    check_shape,
+    check_square,
+    check_symmetric,
+)
+from repro.utils.rng import rng_from_seed, split_seed
+
+__all__ = [
+    "check_finite",
+    "check_positive",
+    "check_positive_int",
+    "check_shape",
+    "check_square",
+    "check_symmetric",
+    "rng_from_seed",
+    "split_seed",
+]

@@ -1,0 +1,29 @@
+"""Deterministic random-number helpers.
+
+All synthetic data in the reproduction is generated from explicit integer
+seeds so that every experiment is bit-reproducible. ``split_seed`` derives
+independent child seeds from a parent seed and a label, which lets one
+sequence seed fan out into trajectory / landmark / noise sub-streams that
+do not alias each other.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+
+def rng_from_seed(seed: int) -> np.random.Generator:
+    """Create a PCG64 generator from an integer seed."""
+    return np.random.default_rng(int(seed))
+
+
+def split_seed(seed: int, label: str) -> int:
+    """Derive a child seed from ``seed`` and a string ``label``.
+
+    Uses SHA-256 so distinct labels give statistically independent
+    streams, and the mapping is stable across platforms and runs.
+    """
+    digest = hashlib.sha256(f"{int(seed)}:{label}".encode()).digest()
+    return int.from_bytes(digest[:8], "little")

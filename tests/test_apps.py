@@ -1,0 +1,140 @@
+"""Tests for the non-SLAM MAP applications (Sec. 7.7)."""
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    GenericNlsProblem,
+    curve_fitting_workload,
+    gauss_newton_lm,
+    make_curve_fitting_problem,
+    make_pose_estimation_problem,
+    pose_estimation_workload,
+    solve_curve_fitting,
+    solve_pose_estimation,
+)
+from repro.errors import ConfigurationError
+
+
+class TestGenericLm:
+    def test_solves_linear_least_squares(self):
+        rng = np.random.default_rng(0)
+        design = rng.normal(size=(20, 4))
+        truth = np.array([1.0, -2.0, 0.5, 3.0])
+        target = design @ truth
+        problem = GenericNlsProblem(
+            residual=lambda x: design @ x - target, x0=np.zeros(4)
+        )
+        solution = gauss_newton_lm(problem)
+        assert np.allclose(solution.x, truth, atol=1e-6)
+
+    def test_solves_rosenbrock_style(self):
+        problem = GenericNlsProblem(
+            residual=lambda x: np.array([10 * (x[1] - x[0] ** 2), 1 - x[0]]),
+            x0=np.array([-1.2, 1.0]),
+        )
+        solution = gauss_newton_lm(problem, max_iterations=100)
+        assert np.allclose(solution.x, [1.0, 1.0], atol=1e-4)
+
+    def test_cost_monotone(self):
+        problem = GenericNlsProblem(
+            residual=lambda x: np.array([x[0] ** 2 - 2.0, x[1] - 1.0]),
+            x0=np.array([3.0, 3.0]),
+        )
+        solution = gauss_newton_lm(problem)
+        assert all(
+            b <= a + 1e-12
+            for a, b in zip(solution.cost_history, solution.cost_history[1:])
+        )
+
+    def test_analytic_jacobian_used(self):
+        calls = []
+
+        def jacobian(x):
+            calls.append(1)
+            return np.eye(2)
+
+        problem = GenericNlsProblem(
+            residual=lambda x: x - np.array([1.0, 2.0]),
+            x0=np.zeros(2),
+            jacobian=jacobian,
+        )
+        solution = gauss_newton_lm(problem)
+        assert calls
+        assert np.allclose(solution.x, [1.0, 2.0], atol=1e-9)
+
+
+class TestCurveFitting:
+    def test_fits_below_noise_level(self):
+        problem = make_curve_fitting_problem(noise=0.15, seed=1)
+        solution = solve_curve_fitting(problem)
+        errors = [
+            np.linalg.norm(problem.evaluate(solution.x, t) - ref)
+            for t, ref in zip(problem.times, problem.true_path)
+        ]
+        # Smoothing averages the waypoint noise down.
+        assert np.mean(errors) < 0.15
+
+    def test_smoothness_weight_straightens(self):
+        rough = make_curve_fitting_problem(seed=2)
+        smooth = make_curve_fitting_problem(seed=2)
+        smooth.smoothness_weight = 200.0
+        sol_rough = solve_curve_fitting(rough)
+        sol_smooth = solve_curve_fitting(smooth)
+
+        def bending(x, p):
+            pts = x.reshape(p.num_control_points, 2)
+            return np.sum((pts[2:] - 2 * pts[1:-1] + pts[:-2]) ** 2)
+
+        assert bending(sol_smooth.x, smooth) < bending(sol_rough.x, rough)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            make_curve_fitting_problem(num_control_points=4)
+
+    def test_deterministic(self):
+        a = make_curve_fitting_problem(seed=3)
+        b = make_curve_fitting_problem(seed=3)
+        assert np.array_equal(a.waypoints, b.waypoints)
+
+    def test_workload_adapter(self):
+        stats, iterations = curve_fitting_workload()
+        assert stats.num_features > 0
+        assert 1 <= iterations <= 6
+
+
+class TestPoseEstimation:
+    def test_recovers_pose_to_millimeters(self):
+        problem = make_pose_estimation_problem(seed=4)
+        pose, solution = solve_pose_estimation(problem)
+        error = np.linalg.norm(pose.translation - problem.true_pose.translation)
+        assert error < 0.02
+        assert solution.cost < solution.cost_history[0]
+
+    def test_robust_to_larger_perturbation(self):
+        problem = make_pose_estimation_problem(pose_perturbation=0.2, seed=5)
+        pose, _ = solve_pose_estimation(problem, max_iterations=40)
+        error = np.linalg.norm(pose.translation - problem.true_pose.translation)
+        assert error < 0.05
+
+    def test_more_points_more_accurate(self):
+        errors = {}
+        for n in (10, 200):
+            trials = []
+            for seed in range(5):
+                problem = make_pose_estimation_problem(num_points=n, seed=seed)
+                pose, _ = solve_pose_estimation(problem)
+                trials.append(
+                    np.linalg.norm(pose.translation - problem.true_pose.translation)
+                )
+            errors[n] = np.mean(trials)
+        assert errors[200] < errors[10]
+
+    def test_needs_four_points(self):
+        with pytest.raises(ConfigurationError):
+            make_pose_estimation_problem(num_points=3)
+
+    def test_workload_adapter(self):
+        stats, iterations = pose_estimation_workload()
+        assert stats.num_features > 0
+        assert 1 <= iterations <= 6

@@ -1,0 +1,128 @@
+"""Tests for the MSCKF filtering baseline and the MAP-vs-filter study."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.msckf import MsckfConfig, MsckfFilter
+from repro.data import make_euroc_sequence
+from repro.errors import ConfigurationError
+from repro.slam import (
+    EstimatorConfig,
+    SlidingWindowEstimator,
+    absolute_trajectory_error,
+)
+
+
+@pytest.fixture(scope="module")
+def clean_run():
+    sequence = make_euroc_sequence("MH_01", duration=8.0)
+    return sequence, MsckfFilter().run(sequence)
+
+
+class TestMsckfConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            MsckfConfig(max_clones=1)
+        with pytest.raises(ConfigurationError):
+            MsckfConfig(pixel_sigma=0.0)
+
+
+class TestMsckfFilter:
+    def test_centimeter_accuracy_on_clean_data(self, clean_run):
+        _, result = clean_run
+        ate = absolute_trajectory_error(
+            np.array(result.estimated_positions), np.array(result.true_positions)
+        )
+        assert ate < 0.05
+
+    def test_updates_fire(self, clean_run):
+        _, result = clean_run
+        assert result.updates_applied > 50
+
+    def test_errors_stay_bounded(self, clean_run):
+        _, result = clean_run
+        assert max(result.position_errors) < 0.25
+
+    def test_operation_count_grows_with_duration(self):
+        short = MsckfFilter().run(make_euroc_sequence("MH_02", duration=3.0))
+        long = MsckfFilter().run(make_euroc_sequence("MH_02", duration=6.0))
+        assert long.operation_count > short.operation_count
+
+    def test_fewer_clones_cheaper(self):
+        sequence = make_euroc_sequence("MH_02", duration=4.0)
+        small = MsckfFilter(MsckfConfig(max_clones=4)).run(sequence)
+        big = MsckfFilter(MsckfConfig(max_clones=12)).run(sequence)
+        assert small.operation_count < big.operation_count
+
+    def test_gating_rejects_outlier_tracks(self):
+        from dataclasses import replace
+
+        from repro.data.sequences import EUROC_SEQUENCES, make_sequence
+        from repro.data.tracks import TrackerConfig
+
+        config = replace(
+            EUROC_SEQUENCES["MH_01"],
+            duration=6.0,
+            tracker=TrackerConfig(outlier_probability=0.10),
+        )
+        result = MsckfFilter().run(make_sequence(config))
+        assert result.tracks_rejected > 20  # chi-square gate working
+
+
+class TestMapVsFiltering:
+    """The Sec. 2.1/2.2 comparison the paper cites [72]."""
+
+    def test_both_paradigms_work_on_clean_data(self, clean_run):
+        sequence, filter_result = clean_run
+        estimator = SlidingWindowEstimator(
+            EstimatorConfig(
+                window_size=8,
+                bootstrap_position_sigma=1e-4,
+                bootstrap_rotation_sigma=1e-4,
+            )
+        )
+        map_result = estimator.run(sequence)
+        ate_filter = absolute_trajectory_error(
+            np.array(filter_result.estimated_positions),
+            np.array(filter_result.true_positions),
+        )
+        ate_map = absolute_trajectory_error(
+            np.array(map_result.estimated_positions),
+            np.array(map_result.true_positions),
+        )
+        assert ate_filter < 0.05
+        assert ate_map < 0.05
+
+    @pytest.mark.slow
+    def test_map_retains_accuracy_under_outliers(self):
+        """Under 10% mismatches the robust MAP pipeline stays at least as
+        accurate as the filter, while the filter must discard a large
+        fraction of its tracks to survive — the robustness asymmetry the
+        paper's choice of MAP rests on."""
+        from dataclasses import replace
+
+        from repro.data.sequences import EUROC_SEQUENCES, make_sequence
+        from repro.data.tracks import TrackerConfig
+
+        config = replace(
+            EUROC_SEQUENCES["MH_01"],
+            duration=8.0,
+            tracker=TrackerConfig(outlier_probability=0.10),
+        )
+        sequence = make_sequence(config)
+        filter_result = MsckfFilter().run(sequence)
+        estimator = SlidingWindowEstimator(
+            EstimatorConfig(window_size=8, huber_delta=2.5, outlier_gate_px=8.0)
+        )
+        map_result = estimator.run(sequence)
+        ate_filter = absolute_trajectory_error(
+            np.array(filter_result.estimated_positions),
+            np.array(filter_result.true_positions),
+        )
+        ate_map = absolute_trajectory_error(
+            np.array(map_result.estimated_positions),
+            np.array(map_result.true_positions),
+        )
+        assert ate_map < ate_filter * 1.3
+        total = filter_result.updates_applied + filter_result.tracks_rejected
+        assert filter_result.tracks_rejected / total > 0.3

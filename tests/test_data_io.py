@@ -1,0 +1,73 @@
+"""Tests for sequence serialization."""
+
+import numpy as np
+import pytest
+
+from repro.data import make_euroc_sequence
+from repro.data.io import load_sequence, save_sequence
+from repro.errors import DataError
+
+
+@pytest.fixture(scope="module")
+def round_trip(tmp_path_factory):
+    sequence = make_euroc_sequence("MH_02", duration=3.0)
+    path = tmp_path_factory.mktemp("seq") / "mh02.npz"
+    save_sequence(sequence, path)
+    return sequence, load_sequence(path), path
+
+
+class TestSerialization:
+    def test_config_preserved(self, round_trip):
+        original, loaded, _ = round_trip
+        assert loaded.config == original.config
+
+    def test_ground_truth_preserved(self, round_trip):
+        original, loaded, _ = round_trip
+        assert np.array_equal(loaded.timestamps, original.timestamps)
+        for a, b in zip(original.true_states, loaded.true_states):
+            assert np.allclose(a.position, b.position)
+            assert np.allclose(a.rotation, b.rotation)
+            assert np.allclose(a.velocity, b.velocity)
+
+    def test_observations_preserved(self, round_trip):
+        original, loaded, _ = round_trip
+        for a, b in zip(original.observations, loaded.observations):
+            assert a.pixels.keys() == b.pixels.keys()
+            for fid in a.pixels:
+                assert np.allclose(a.pixels[fid], b.pixels[fid])
+
+    def test_imu_preserved(self, round_trip):
+        original, loaded, _ = round_trip
+        assert len(loaded.imu_segments) == len(original.imu_segments)
+        for a, b in zip(original.imu_segments, loaded.imu_segments):
+            assert np.allclose(a.gyro, b.gyro)
+            assert np.allclose(a.accel, b.accel)
+            assert a.dt == b.dt
+
+    def test_estimator_runs_identically(self, round_trip):
+        from repro.slam import EstimatorConfig, SlidingWindowEstimator
+
+        original, loaded, _ = round_trip
+        run_a = SlidingWindowEstimator(EstimatorConfig(window_size=6)).run(original)
+        run_b = SlidingWindowEstimator(EstimatorConfig(window_size=6)).run(loaded)
+        assert np.allclose(
+            np.array(run_a.estimated_positions), np.array(run_b.estimated_positions)
+        )
+
+    def test_version_check(self, tmp_path):
+        sequence = make_euroc_sequence("MH_01", duration=1.0)
+        path = tmp_path / "seq.npz"
+        save_sequence(sequence, path)
+        # Corrupt the version field.
+        import json
+
+        with np.load(path) as data:
+            arrays = {k: data[k] for k in data.files}
+        meta = json.loads(bytes(arrays["meta_json"]).decode())
+        meta["version"] = 999
+        arrays["meta_json"] = np.frombuffer(
+            json.dumps(meta).encode(), dtype=np.uint8
+        )
+        np.savez_compressed(path, **arrays)
+        with pytest.raises(DataError):
+            load_sequence(path)

@@ -1,0 +1,98 @@
+"""Tests for synthetic sequence generation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.data import (
+    EUROC_SEQUENCES,
+    KITTI_SEQUENCES,
+    SequenceConfig,
+    make_euroc_sequence,
+    make_kitti_sequence,
+    make_sequence,
+)
+from repro.data.sequences import _synthesize_imu_segment  # noqa: F401 (API surface)
+
+
+class TestSequenceConfig:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ConfigurationError):
+            SequenceConfig(kind="boat")
+
+    def test_rejects_low_imu_rate(self):
+        with pytest.raises(ConfigurationError):
+            SequenceConfig(imu_rate=5.0, keyframe_rate=5.0)
+
+    def test_catalogs_complete(self):
+        assert sorted(EUROC_SEQUENCES) == [f"MH_0{i}" for i in range(1, 6)]
+        assert sorted(KITTI_SEQUENCES) == [f"{i:02d}" for i in range(11)]
+
+
+class TestSequenceGeneration:
+    @pytest.fixture(scope="class")
+    def euroc(self):
+        return make_euroc_sequence("MH_01", duration=5.0)
+
+    def test_keyframe_count(self, euroc):
+        assert euroc.num_keyframes == 26  # 5 s at 5 Hz inclusive
+
+    def test_deterministic(self):
+        a = make_euroc_sequence("MH_02", duration=2.0)
+        b = make_euroc_sequence("MH_02", duration=2.0)
+        assert np.array_equal(a.landmarks, b.landmarks)
+        assert np.array_equal(a.imu_segments[0].gyro, b.imu_segments[0].gyro)
+        assert a.observations[3].pixels.keys() == b.observations[3].pixels.keys()
+
+    def test_distinct_sequences_differ(self):
+        a = make_euroc_sequence("MH_01", duration=2.0)
+        b = make_euroc_sequence("MH_03", duration=2.0)
+        assert not np.array_equal(a.landmarks[: len(b.landmarks)], b.landmarks[: len(a.landmarks)])
+
+    def test_imu_segment_shapes(self, euroc):
+        assert len(euroc.imu_segments) == euroc.num_keyframes - 1
+        segment = euroc.imu_segments[0]
+        assert segment.gyro.shape == segment.accel.shape
+        assert segment.gyro.shape[0] == pytest.approx(
+            euroc.config.imu_rate / euroc.config.keyframe_rate, abs=1
+        )
+
+    def test_feature_counts_vary(self, euroc):
+        counts = euroc.feature_counts()
+        assert counts.min() >= 0
+        assert counts.max() <= euroc.config.tracker.max_features
+        assert counts.std() > 1.0  # the density profile creates variation
+
+    def test_observations_are_in_image(self, euroc):
+        camera = euroc.config.camera
+        for obs in euroc.observations[:10]:
+            for pixel in obs.pixels.values():
+                # Noise can push a pixel slightly outside; allow margin.
+                assert -10 <= pixel[0] <= camera.width + 10
+                assert -10 <= pixel[1] <= camera.height + 10
+
+    def test_unknown_names_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_euroc_sequence("MH_99")
+        with pytest.raises(ConfigurationError):
+            make_kitti_sequence("42")
+
+    def test_true_states_follow_trajectory(self, euroc):
+        # Velocity should be the numerical derivative of positions.
+        dt = 1.0 / euroc.config.keyframe_rate
+        p0 = euroc.true_states[0].position
+        p1 = euroc.true_states[1].position
+        v_avg = (p1 - p0) / dt
+        v_mid = 0.5 * (euroc.true_states[0].velocity + euroc.true_states[1].velocity)
+        assert np.allclose(v_avg, v_mid, atol=0.2)
+
+    def test_kitti_is_planar_ish(self):
+        seq = make_kitti_sequence("01", duration=5.0)
+        zs = np.array([s.position[2] for s in seq.true_states])
+        assert zs.std() < 1.0  # near-planar driving
+
+    def test_custom_config_roundtrip(self):
+        config = SequenceConfig(name="tiny", kind="drone", seed=7, duration=2.0)
+        seq = make_sequence(config)
+        assert seq.config.name == "tiny"
+        assert seq.num_keyframes == 11

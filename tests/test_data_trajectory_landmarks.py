@@ -1,0 +1,127 @@
+"""Unit tests for trajectory generators and the landmark field."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.landmarks import density_profile, make_landmarks
+from repro.data.trajectory import CarTrajectory, DroneTrajectory
+from repro.errors import ConfigurationError
+
+
+class TestDroneTrajectory:
+    @pytest.fixture
+    def trajectory(self):
+        return DroneTrajectory(phases=np.linspace(0.3, 2.4, 6))
+
+    def test_rotation_is_valid(self, trajectory):
+        for t in (0.0, 3.7, 12.2):
+            rot = trajectory.rotation(t)
+            assert np.allclose(rot @ rot.T, np.eye(3), atol=1e-10)
+
+    def test_velocity_is_position_derivative(self, trajectory):
+        t, h = 5.0, 1e-5
+        numeric = (trajectory.position(t + h) - trajectory.position(t - h)) / (2 * h)
+        assert np.allclose(trajectory.velocity(t), numeric, atol=1e-4)
+
+    def test_acceleration_is_velocity_derivative(self, trajectory):
+        t, h = 5.0, 1e-4
+        numeric = (trajectory.velocity(t + h) - trajectory.velocity(t - h)) / (2 * h)
+        assert np.allclose(trajectory.acceleration(t), numeric, atol=1e-2)
+
+    def test_stays_in_flight_volume(self, trajectory):
+        positions = np.array([trajectory.position(t) for t in np.linspace(0, 60, 200)])
+        assert np.all(np.abs(positions[:, 0]) <= trajectory.extent[0] + 1e-9)
+        assert np.all(np.abs(positions[:, 1]) <= trajectory.extent[1] + 1e-9)
+
+    def test_accelerations_mav_grade(self, trajectory):
+        """EuRoC-MH-like dynamics: peak accelerations of a few m/s^2,
+        enough to make the accelerometer bias observable."""
+        accels = [
+            np.linalg.norm(trajectory.acceleration(t))
+            for t in np.linspace(0, 30, 300)
+        ]
+        assert 1.0 < max(accels) < 20.0
+
+    def test_invalid_config(self):
+        with pytest.raises(ConfigurationError):
+            DroneTrajectory(extent=np.array([0.0, 1.0, 1.0]))
+        with pytest.raises(ConfigurationError):
+            DroneTrajectory(speed_scale=0.0)
+
+
+class TestCarTrajectory:
+    @pytest.fixture
+    def trajectory(self):
+        return CarTrajectory(phases=np.array([0.1, 0.9, 1.7, 2.4]))
+
+    def test_speed_near_nominal(self, trajectory):
+        for t in (1.0, 20.0, 60.0):
+            speed = np.linalg.norm(trajectory.velocity(t)[:2])
+            assert speed == pytest.approx(trajectory.speed, rel=0.01)
+
+    def test_position_consistent_with_velocity(self, trajectory):
+        """The quadrature path must integrate the analytic velocity."""
+        t0, t1 = 10.0, 10.5
+        steps = np.linspace(t0, t1, 501)
+        integral = np.trapezoid(
+            np.array([trajectory.velocity(t) for t in steps]), steps, axis=0
+        )
+        delta = trajectory.position(t1) - trajectory.position(t0)
+        assert np.allclose(delta, integral, atol=2e-3)
+
+    def test_heading_follows_velocity(self, trajectory):
+        t = 15.0
+        velocity = trajectory.velocity(t)
+        heading = np.arctan2(velocity[1], velocity[0])
+        forward = trajectory.rotation(t) @ np.array([1.0, 0.0, 0.0])
+        assert np.arctan2(forward[1], forward[0]) == pytest.approx(heading, abs=0.05)
+
+    def test_invalid_speed(self):
+        with pytest.raises(ConfigurationError):
+            CarTrajectory(speed=0.0)
+
+
+class TestLandmarks:
+    def test_density_profile_bounds(self):
+        profile = density_profile(period=30.0, floor=0.2)
+        values = [profile(t) for t in np.linspace(0, 200, 500)]
+        assert min(values) >= 0.2
+        assert max(values) <= 1.0
+        assert max(values) - min(values) > 0.3  # actual variation
+
+    def test_density_floor_validation(self):
+        with pytest.raises(ConfigurationError):
+            density_profile(floor=0.0)
+
+    def test_landmarks_near_trajectory(self):
+        rng = np.random.default_rng(0)
+        trajectory = DroneTrajectory(phases=np.zeros(6))
+        points = make_landmarks(
+            trajectory, duration=20.0, rng=rng, count=500, lateral_spread=3.0,
+            vertical_spread=2.0, forward_spread=3.0,
+        )
+        assert 200 < len(points) <= 500  # density thins the field
+        # Every landmark within a few spreads of some path point.
+        path = np.array([trajectory.position(t) for t in np.linspace(0, 20, 100)])
+        distances = np.min(
+            np.linalg.norm(points[:, None, :] - path[None, :, :], axis=2), axis=1
+        )
+        assert np.percentile(distances, 95) < 15.0
+
+    def test_invalid_args(self):
+        rng = np.random.default_rng(0)
+        trajectory = DroneTrajectory(phases=np.zeros(6))
+        with pytest.raises(ConfigurationError):
+            make_landmarks(trajectory, duration=0.0, rng=rng)
+        with pytest.raises(ConfigurationError):
+            make_landmarks(trajectory, duration=10.0, rng=rng, count=0)
+
+    @given(st.integers(min_value=1, max_value=10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_deterministic_given_seed(self, seed):
+        trajectory = CarTrajectory(phases=np.zeros(4))
+        a = make_landmarks(trajectory, 10.0, np.random.default_rng(seed), count=50)
+        b = make_landmarks(trajectory, 10.0, np.random.default_rng(seed), count=50)
+        assert np.array_equal(a, b)

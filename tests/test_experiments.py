@@ -1,0 +1,109 @@
+"""Tests for the experiment registry and the light experiments.
+
+The heavy (estimator-driven) experiments are exercised by the benchmark
+harness; here we verify the registry plumbing, result containers, and
+the model-only experiments end to end.
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import EXPERIMENTS, ExperimentResult, format_table, run_experiment
+from repro.experiments.fig13_14 import run_fig13a, run_fig13c, run_fig14
+from repro.experiments.fig15_16 import run_tbl2
+from repro.experiments.sec3x import run_sec32, run_sec33
+from repro.experiments.sec7x import run_sec73, run_sec75, run_sec77_apps, run_sec77_fpgas
+
+
+class TestResultContainer:
+    def test_column_access(self):
+        result = ExperimentResult("x", "t", ["a", "b"], rows=[[1, 2], [3, 4]])
+        assert result.column("b") == [2, 4]
+
+    def test_render_contains_rows(self):
+        result = ExperimentResult("x", "title", ["col"], rows=[[42]], notes="note")
+        text = result.render()
+        assert "title" in text and "42" in text and "note" in text
+
+    def test_format_table_alignment(self):
+        table = format_table(["name", "v"], [["a", 1.23456], ["bb", 2]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert "1.235" in table  # 4 significant digits
+
+
+class TestRegistry:
+    def test_every_paper_artifact_registered(self):
+        expected = {
+            "fig11", "fig12", "fig13a", "fig13b", "fig13c", "fig14",
+            "fig15", "fig16", "tbl2", "sec32", "sec33", "sec73",
+            "sec75", "sec76", "sec76b", "sec77a", "sec77b",
+            "ext-learned-policy", "ext-robustness", "ext-wordlength", "ext-realtime", "ext-accuracy", "ext-window-size",
+        }
+        assert expected == set(EXPERIMENTS)
+
+    def test_unknown_id_raises(self):
+        with pytest.raises(ConfigurationError):
+            run_experiment("fig99")
+
+
+class TestLightExperiments:
+    def test_fig13a_time_monotone(self):
+        result = run_fig13a()
+        times = result.column("time_ms")
+        assert all(b <= a for a, b in zip(times, times[1:]))
+        dsp = result.column("dsp_pct")
+        assert all(b >= a for a, b in zip(dsp, dsp[1:]))
+
+    def test_fig13c_s_dominates_dsp(self):
+        """Fig. 13: s has the most significant resource impact."""
+        result = run_fig13c()
+        dsp = result.column("dsp_pct")
+        assert dsp[-1] - dsp[0] > 40.0  # tens of percent over the sweep
+
+    def test_fig14_frontier_shape(self):
+        result = run_fig14()
+        assert len(result.rows) >= 5
+        assert "True" in result.notes  # perturbation validation passed
+
+    def test_tbl2_high_perf_bigger(self):
+        result = run_tbl2()
+        hp, lp = result.rows
+        assert hp[result.columns.index("dsp_pct")] > lp[result.columns.index("dsp_pct")]
+
+    def test_sec32_diagonal_wins(self):
+        result = run_sec32()
+        assert result.rows[0][0] == "schur-diagonal-landmarks"
+        assert "diagonal=True" in result.notes
+
+    def test_sec33_compact_wins(self):
+        result = run_sec33()
+        assert result.rows[0][0] == "compact-si-sc"
+        assert result.rows[0][2] == pytest.approx(78.7, abs=1.0)
+
+    def test_sec73_numbers(self):
+        result = run_sec73()
+        values = dict(zip(result.column("quantity"), result.column("value")))
+        assert values["design space points"] == 90_000
+        assert float(values["our generator (seconds)"]) < 3.0
+
+    def test_sec75_factors(self):
+        result = run_sec75()
+        by_name = {row[0]: row for row in result.rows}
+        pi_ba = next(v for k, v in by_name.items() if k.startswith("pi-BA"))
+        assert pi_ba[1] > 100  # >100x speedup
+        hls = next(v for k, v in by_name.items() if "Cholesky" in k)
+        assert 10 < hls[1] < 25  # ~16.4x
+
+    def test_sec77_fpgas_ordering(self):
+        result = run_sec77_fpgas()
+        latencies = result.column("latency_ms")
+        assert latencies[0] >= latencies[1] >= latencies[2]
+
+    def test_sec77_apps_both_accelerate(self):
+        result = run_sec77_apps()
+        for row in result.rows:
+            speedup = row[result.columns.index("speedup_x")]
+            energy = row[result.columns.index("energy_red_x")]
+            assert speedup > 3.0
+            assert energy > 50.0

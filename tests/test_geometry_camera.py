@@ -1,0 +1,92 @@
+"""Tests for the pinhole camera and its analytic Jacobians."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.geometry import SE3, PinholeCamera, random_rotation
+
+
+@pytest.fixture
+def camera():
+    return PinholeCamera()
+
+
+def numeric_jacobian(f, x, eps=1e-6):
+    x = np.asarray(x, dtype=float)
+    f0 = np.asarray(f(x))
+    jac = np.zeros((f0.size, x.size))
+    for i in range(x.size):
+        dx = np.zeros_like(x)
+        dx[i] = eps
+        jac[:, i] = (np.asarray(f(x + dx)) - np.asarray(f(x - dx))) / (2 * eps)
+    return jac
+
+
+class TestProjection:
+    def test_principal_ray(self, camera):
+        pixel = camera.project_camera_point([0.0, 0.0, 2.0])
+        assert np.allclose(pixel, [camera.cx, camera.cy])
+
+    def test_projection_scale_invariant(self, camera):
+        p1 = camera.project_camera_point([0.2, 0.1, 1.0])
+        p2 = camera.project_camera_point([0.4, 0.2, 2.0])
+        assert np.allclose(p1, p2)
+
+    def test_behind_camera_raises(self, camera):
+        with pytest.raises(ValueError):
+            camera.project_camera_point([0.0, 0.0, -1.0])
+
+    def test_visibility(self, camera):
+        pose = SE3.identity()
+        assert camera.is_visible(pose, [0.0, 0.0, 5.0])
+        assert not camera.is_visible(pose, [0.0, 0.0, -5.0])
+        assert not camera.is_visible(pose, [100.0, 0.0, 1.0])
+
+    def test_world_projection_consistency(self, camera):
+        rng = np.random.default_rng(0)
+        pose = SE3(random_rotation(rng), rng.normal(size=3))
+        point_c = np.array([0.1, -0.2, 3.0])
+        point_w = pose.transform(point_c)
+        assert np.allclose(
+            camera.project(pose, point_w), camera.project_camera_point(point_c)
+        )
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PinholeCamera(fx=-1.0)
+        with pytest.raises(ConfigurationError):
+            PinholeCamera(min_depth=0.0)
+
+
+class TestProjectionJacobians:
+    def _setup(self, seed):
+        rng = np.random.default_rng(seed)
+        pose = SE3(random_rotation(rng), rng.normal(size=3))
+        # Put the point safely in front of the camera.
+        point_c = np.array([0.3, -0.2, 4.0]) + rng.normal(scale=0.2, size=3)
+        point_w = pose.transform(point_c)
+        return pose, point_w
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_point_jacobian_matches_numeric(self, camera, seed):
+        pose, point_w = self._setup(seed)
+        _, _, d_point = camera.projection_jacobians(pose, point_w)
+        numeric = numeric_jacobian(lambda p: camera.project(pose, p), point_w)
+        assert np.allclose(d_point, numeric, atol=1e-4)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_pose_jacobian_matches_numeric(self, camera, seed):
+        pose, point_w = self._setup(seed)
+        _, d_pose, _ = camera.projection_jacobians(pose, point_w)
+
+        def f(delta):
+            return camera.project(pose.retract(delta), point_w)
+
+        numeric = numeric_jacobian(f, np.zeros(6))
+        assert np.allclose(d_pose, numeric, atol=1e-4)
+
+    def test_low_depth_raises(self, camera):
+        pose = SE3.identity()
+        with pytest.raises(ValueError):
+            camera.projection_jacobians(pose, [0.0, 0.0, 0.01])

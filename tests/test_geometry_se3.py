@@ -1,0 +1,88 @@
+"""Tests for SE(3) poses and the 15-DoF navigation state."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import SE3, NavState, STATE_DIM, random_rotation
+
+
+def tangent6():
+    return st.lists(st.floats(-2, 2, allow_nan=False), min_size=6, max_size=6).map(np.array)
+
+
+def random_pose(seed):
+    rng = np.random.default_rng(seed)
+    return SE3(random_rotation(rng), rng.normal(size=3))
+
+
+class TestSE3:
+    def test_identity(self):
+        pose = SE3.identity()
+        p = np.array([1.0, 2.0, 3.0])
+        assert np.allclose(pose.transform(p), p)
+
+    def test_compose_inverse(self):
+        pose = random_pose(1)
+        composed = pose.compose(pose.inverse())
+        assert np.allclose(composed.rotation, np.eye(3), atol=1e-12)
+        assert np.allclose(composed.translation, 0.0, atol=1e-12)
+
+    def test_transform_round_trip(self):
+        pose = random_pose(2)
+        p = np.array([0.5, -1.0, 2.0])
+        assert np.allclose(pose.transform_to_body(pose.transform(p)), p)
+
+    def test_transform_batch(self):
+        pose = random_pose(3)
+        pts = np.random.default_rng(0).normal(size=(10, 3))
+        batch = pose.transform(pts)
+        rows = np.stack([pose.transform(p) for p in pts])
+        assert np.allclose(batch, rows)
+
+    @given(tangent6())
+    @settings(max_examples=40)
+    def test_exp_log_round_trip(self, xi):
+        if np.linalg.norm(xi[3:]) >= np.pi - 1e-2:
+            xi[3:] *= (np.pi - 0.1) / np.linalg.norm(xi[3:])
+        pose = SE3.exp(xi)
+        assert np.allclose(pose.log(), xi, atol=1e-8)
+
+    @given(tangent6())
+    @settings(max_examples=40)
+    def test_retract_local_round_trip(self, delta):
+        if np.linalg.norm(delta[3:]) >= np.pi - 1e-2:
+            delta[3:] *= (np.pi - 0.1) / np.linalg.norm(delta[3:])
+        pose = random_pose(4)
+        other = pose.retract(delta)
+        assert np.allclose(pose.local(other), delta, atol=1e-8)
+
+    def test_matrix_homogeneous(self):
+        pose = random_pose(5)
+        p = np.array([1.0, -2.0, 0.3])
+        hom = pose.matrix() @ np.append(p, 1.0)
+        assert np.allclose(hom[:3], pose.transform(p))
+
+
+class TestNavState:
+    def test_retract_local_round_trip(self):
+        rng = np.random.default_rng(6)
+        state = NavState(
+            pose=SE3(random_rotation(rng), rng.normal(size=3)),
+            velocity=rng.normal(size=3),
+            bias_gyro=rng.normal(size=3) * 0.01,
+            bias_accel=rng.normal(size=3) * 0.1,
+        )
+        delta = rng.normal(size=STATE_DIM) * 0.5
+        other = state.retract(delta)
+        assert np.allclose(state.local(other), delta, atol=1e-8)
+
+    def test_zero_retract_is_identity(self):
+        state = NavState()
+        same = state.retract(np.zeros(STATE_DIM))
+        assert np.allclose(same.position, state.position)
+        assert np.allclose(same.velocity, state.velocity)
+
+    def test_state_dim_is_paper_k(self):
+        # The per-keyframe state size is the k = 15 of Sec. 3.3.
+        assert STATE_DIM == 15

@@ -1,0 +1,120 @@
+"""Unit and property tests for SO(3) primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import (
+    hat,
+    vee,
+    so3_exp,
+    so3_log,
+    quat_to_rot,
+    rot_to_quat,
+    quat_multiply,
+    quat_normalize,
+    random_rotation,
+)
+
+
+def small_vectors(max_norm=3.0):
+    return st.lists(
+        st.floats(-max_norm, max_norm, allow_nan=False), min_size=3, max_size=3
+    ).map(np.array)
+
+
+class TestHatVee:
+    def test_hat_is_cross_product(self):
+        w = np.array([1.0, -2.0, 0.5])
+        v = np.array([0.3, 0.7, -1.1])
+        assert np.allclose(hat(w) @ v, np.cross(w, v))
+
+    def test_hat_antisymmetric(self):
+        w = np.array([0.1, 0.2, 0.3])
+        m = hat(w)
+        assert np.allclose(m, -m.T)
+
+    @given(small_vectors())
+    def test_vee_inverts_hat(self, w):
+        assert np.allclose(vee(hat(w)), w)
+
+
+class TestExpLog:
+    def test_exp_zero_is_identity(self):
+        assert np.allclose(so3_exp(np.zeros(3)), np.eye(3))
+
+    def test_exp_quarter_turn(self):
+        rot = so3_exp([0.0, 0.0, np.pi / 2])
+        assert np.allclose(rot @ np.array([1.0, 0, 0]), [0.0, 1.0, 0.0], atol=1e-12)
+
+    @given(small_vectors(max_norm=1.5))
+    @settings(max_examples=60)
+    def test_exp_is_rotation(self, w):
+        rot = so3_exp(w)
+        assert np.allclose(rot @ rot.T, np.eye(3), atol=1e-10)
+        assert np.isclose(np.linalg.det(rot), 1.0, atol=1e-10)
+
+    @given(small_vectors(max_norm=3.0))
+    @settings(max_examples=60)
+    def test_log_inverts_exp(self, w):
+        # Stay inside the injectivity radius.
+        if np.linalg.norm(w) >= np.pi - 1e-3:
+            w = w / np.linalg.norm(w) * (np.pi - 0.1)
+        assert np.allclose(so3_log(so3_exp(w)), w, atol=1e-8)
+
+    def test_log_near_pi(self):
+        w = np.array([np.pi - 1e-4, 0.0, 0.0])
+        recovered = so3_log(so3_exp(w))
+        assert np.allclose(np.abs(recovered), np.abs(w), atol=1e-5)
+
+    def test_log_small_angle(self):
+        w = np.array([1e-10, -2e-10, 3e-10])
+        assert np.allclose(so3_log(so3_exp(w)), w, atol=1e-14)
+
+
+class TestQuaternions:
+    def test_identity_round_trip(self):
+        assert np.allclose(quat_to_rot([1, 0, 0, 0]), np.eye(3))
+        assert np.allclose(rot_to_quat(np.eye(3)), [1, 0, 0, 0])
+
+    @given(st.lists(st.floats(-1, 1, allow_nan=False), min_size=4, max_size=4))
+    @settings(max_examples=60)
+    def test_round_trip(self, q):
+        q = np.array(q)
+        if np.linalg.norm(q) < 1e-3:
+            q = np.array([1.0, 0.1, 0.2, 0.3])
+        q = quat_normalize(q)
+        recovered = rot_to_quat(quat_to_rot(q))
+        # Antipodal quaternions encode the same rotation; at w ~= 0 the
+        # sign convention cannot distinguish them at machine precision.
+        err = min(np.linalg.norm(recovered - q), np.linalg.norm(recovered + q))
+        assert err < 1e-8
+
+    def test_multiply_matches_rotation_composition(self):
+        rng = np.random.default_rng(0)
+        q1 = quat_normalize(rng.normal(size=4))
+        q2 = quat_normalize(rng.normal(size=4))
+        lhs = quat_to_rot(quat_multiply(q1, q2))
+        rhs = quat_to_rot(q1) @ quat_to_rot(q2)
+        assert np.allclose(lhs, rhs, atol=1e-10)
+
+    def test_normalize_zero_raises(self):
+        with pytest.raises(ValueError):
+            quat_normalize(np.zeros(4))
+
+    def test_trace_negative_branch(self):
+        # 180-degree rotation about x has trace -1: exercises the
+        # largest-diagonal branch of rot_to_quat.
+        rot = so3_exp([np.pi, 0.0, 0.0])
+        q = rot_to_quat(rot)
+        assert np.allclose(quat_to_rot(q), rot, atol=1e-10)
+
+
+class TestRandomRotation:
+    def test_is_valid_rotation(self):
+        rng = np.random.default_rng(7)
+        for _ in range(10):
+            rot = random_rotation(rng)
+            assert np.allclose(rot @ rot.T, np.eye(3), atol=1e-10)
+            assert np.isclose(np.linalg.det(rot), 1.0)

@@ -1,0 +1,102 @@
+"""Tests for fixed-point modeling and the wordlength study."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.hw.fixedpoint import QFormat, quantized_solve, wordlength_study
+
+
+def arrow_system(p=12, q=9, seed=0):
+    rng = np.random.default_rng(seed)
+    u = rng.uniform(0.5, 3.0, size=p)
+    w = rng.normal(size=(q, p)) * 0.4
+    base = rng.normal(size=(q, q))
+    v = base @ base.T + q * np.eye(q) + w @ np.diag(1.0 / u) @ w.T
+    return u, w, v, rng.normal(size=p), rng.normal(size=q)
+
+
+class TestQFormat:
+    def test_resolution(self):
+        assert QFormat(fraction_bits=8).resolution == pytest.approx(1 / 256)
+
+    def test_total_bits(self):
+        assert QFormat(integer_bits=15, fraction_bits=16).total_bits == 32
+
+    def test_quantize_rounds_to_grid(self):
+        q = QFormat(integer_bits=4, fraction_bits=2)  # resolution 0.25
+        assert q.quantize(np.array([0.3])) == pytest.approx(0.25)
+        assert q.quantize(np.array([0.38])) == pytest.approx(0.5)
+
+    def test_saturation(self):
+        q = QFormat(integer_bits=3, fraction_bits=4)
+        assert q.quantize(np.array([100.0]))[0] == pytest.approx(q.max_value)
+        assert q.quantize(np.array([-100.0]))[0] == pytest.approx(-8.0)
+
+    def test_invalid_format(self):
+        with pytest.raises(ConfigurationError):
+            QFormat(integer_bits=0)
+
+    @given(st.floats(min_value=-7.0, max_value=7.0, allow_nan=False))
+    @settings(max_examples=40)
+    def test_quantization_error_bounded(self, value):
+        q = QFormat(integer_bits=3, fraction_bits=10)
+        error = abs(q.quantize(np.array([value]))[0] - value)
+        assert error <= q.resolution / 2 + 1e-12
+
+
+class TestQuantizedSolve:
+    def test_high_precision_matches_double(self):
+        u, w, v, bx, by = arrow_system()
+        d_lambda, d_state = quantized_solve(u, w, v, bx, by, QFormat(fraction_bits=24))
+        full = np.block([[np.diag(u), w.T], [w, v]])
+        reference = np.linalg.solve(full, np.concatenate([bx, by]))
+        solution = np.concatenate([d_lambda, d_state])
+        assert np.allclose(solution, reference, atol=1e-4)
+
+    def test_low_precision_degrades(self):
+        u, w, v, bx, by = arrow_system()
+        coarse = quantized_solve(u, w, v, bx, by, QFormat(fraction_bits=4))
+        fine = quantized_solve(u, w, v, bx, by, QFormat(fraction_bits=20))
+        full = np.block([[np.diag(u), w.T], [w, v]])
+        reference = np.linalg.solve(full, np.concatenate([bx, by]))
+        err_coarse = np.linalg.norm(np.concatenate(coarse) - reference)
+        err_fine = np.linalg.norm(np.concatenate(fine) - reference)
+        assert err_fine < err_coarse
+
+
+class TestWordlengthStudy:
+    def test_error_monotone_in_bits(self):
+        """The classic wordlength curve: error falls with fraction bits."""
+        u, w, v, bx, by = arrow_system(seed=3)
+        errors = wordlength_study(u, w, v, bx, by)
+        bits = sorted(errors)
+        values = [errors[b] for b in bits]
+        # Allow small non-monotonic wiggle at the floor.
+        assert values[0] > values[-1] * 10
+        assert all(b <= a * 1.5 for a, b in zip(values, values[1:]))
+
+    def test_q16_is_sufficient(self):
+        """The RTL's Q15.16 words keep the solve error below 1e-3 — the
+        reason 32-bit fixed point is safe for this workload."""
+        u, w, v, bx, by = arrow_system(seed=5)
+        errors = wordlength_study(u, w, v, bx, by, fraction_bits=(16,))
+        assert errors[16] < 1e-3
+
+    def test_on_real_window(self):
+        """Run the study on an actual estimator window's linear system."""
+        from tests.test_slam_problem import tiny_problem
+
+        problem, _ = tiny_problem(num_features=8)
+        system = problem.build_linear_system()
+        errors = wordlength_study(
+            np.maximum(system.u_diag, 1e-6),
+            system.w_block,
+            system.v_block,
+            system.b_x,
+            system.b_y,
+            fraction_bits=(8, 16, 24),
+        )
+        assert errors[24] <= errors[8]

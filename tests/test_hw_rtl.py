@@ -1,0 +1,108 @@
+"""Tests for Verilog emission, the structural linter, and the testbench."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw.config import HardwareConfig, ND_RANGE, NM_RANGE, S_RANGE
+from repro.hw.rtl import (
+    emit_design,
+    emit_module,
+    emit_testbench,
+    lint_design,
+    lint_source,
+)
+
+
+class TestEmitter:
+    def test_design_has_all_modules(self):
+        files = emit_design(HardwareConfig(10, 8, 20))
+        assert set(files) == {
+            "archytas_mac.v",
+            "archytas_dschur.v",
+            "archytas_mschur.v",
+            "archytas_cholesky.v",
+            "archytas_param_buffer.v",
+            "archytas_top.v",
+        }
+
+    def test_parameters_baked_in(self):
+        files = emit_design(HardwareConfig(13, 7, 42))
+        assert "ND    = 13" in files["archytas_dschur.v"]
+        assert "NM    = 7" in files["archytas_mschur.v"]
+        assert "S     = 42" in files["archytas_cholesky.v"]
+        assert "nd=13 nm=7 s=42" in files["archytas_top.v"]
+
+    def test_runtime_interface_present(self):
+        """The Sec. 6.2 host interface: three active-count registers."""
+        top = emit_module("archytas_top", HardwareConfig(8, 8, 8))
+        for signal in ("cfg_nd_active", "cfg_nm_active", "cfg_s_active", "cfg_we"):
+            assert signal in top
+
+    def test_clock_gating_compares_against_active(self):
+        dschur = emit_module("archytas_dschur", HardwareConfig(8, 8, 8))
+        assert "g < nd_active" in dschur
+
+    def test_param_buffer_sized_by_compact_layout(self):
+        from repro.linalg.smatrix import SMatrixLayout
+
+        buffer = emit_module("archytas_param_buffer", HardwareConfig(), k=15, b=15)
+        assert f"DEPTH = {SMatrixLayout(15, 15).compact_words}" in buffer
+
+    def test_unknown_module_rejected(self):
+        with pytest.raises(KeyError):
+            emit_module("nonexistent", HardwareConfig())
+
+    @given(
+        st.integers(*ND_RANGE), st.integers(*NM_RANGE), st.integers(*S_RANGE)
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_every_config_lints_clean(self, nd, nm, s):
+        config = HardwareConfig(nd, nm, s)
+        files = emit_design(config)
+        files["archytas_tb.v"] = emit_testbench(config)
+        report = lint_design(files)
+        assert report.ok, report.errors
+
+
+class TestLinter:
+    def test_clean_module_passes(self):
+        source = "module m(input wire a);\n  wire b;\nendmodule\n"
+        assert lint_source(source).ok
+
+    def test_unbalanced_module_caught(self):
+        report = lint_source("module m(input a);\n")
+        assert not report.ok
+
+    def test_unbalanced_begin_end_caught(self):
+        source = "module m;\nalways @(*) begin\nendmodule\n"
+        report = lint_source(source)
+        assert any("begin" in e for e in report.errors)
+
+    def test_leftover_token_caught(self):
+        source = "module m;\nparameter N = __ND__;\nendmodule\n"
+        report = lint_source(source)
+        assert any("template token" in e for e in report.errors)
+
+    def test_comments_ignored(self):
+        source = "module m;\n// begin (\n/* module { */\nendmodule\n"
+        assert lint_source(source).ok
+
+    def test_cross_file_instantiation_check(self):
+        files = {
+            "top.v": "module archytas_top;\n  archytas_ghost u0 ();\nendmodule\n"
+        }
+        report = lint_design(files)
+        assert any("never defined" in e for e in report.errors)
+
+
+class TestTestbench:
+    def test_testbench_structure(self):
+        tb = emit_testbench(HardwareConfig(16, 10, 40))
+        assert "archytas_top dut" in tb
+        assert "window_done" in tb
+        assert "$fatal" in tb  # self-checking
+        assert "8'd8" in tb  # nd/2 gated value
+
+    def test_testbench_lints(self):
+        assert lint_source(emit_testbench(HardwareConfig(4, 4, 4))).ok

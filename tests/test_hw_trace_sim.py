@@ -1,0 +1,68 @@
+"""Tests for trace-driven co-simulation and the relaxation solver."""
+
+import numpy as np
+import pytest
+
+from repro.data import make_euroc_sequence
+from repro.hw import HardwareConfig
+from repro.hw.sim.trace import simulate_trace
+from repro.slam import EstimatorConfig, SlidingWindowEstimator
+from repro.synth import DesignSpec, exhaustive_search
+from repro.synth.relaxation import relaxation_search
+
+
+@pytest.fixture(scope="module")
+def short_run():
+    sequence = make_euroc_sequence("MH_01", duration=5.0)
+    return SlidingWindowEstimator(EstimatorConfig(window_size=6)).run(sequence)
+
+
+class TestTraceSimulation:
+    def test_one_sample_per_window(self, short_run):
+        trace = simulate_trace(short_run, HardwareConfig(20, 10, 30))
+        assert len(trace.seconds) == short_run.num_windows
+        assert trace.total_seconds > 0
+        assert trace.total_energy_j > 0
+
+    def test_simulation_tracks_analytical_model(self, short_run):
+        trace = simulate_trace(short_run, HardwareConfig(20, 10, 30))
+        assert trace.model_agreement() < 0.35
+
+    def test_bigger_design_faster_on_trace(self, short_run):
+        small = simulate_trace(short_run, HardwareConfig(2, 2, 2))
+        big = simulate_trace(short_run, HardwareConfig(30, 25, 60))
+        assert big.total_seconds < small.total_seconds
+
+    def test_worst_case_bounded_by_total(self, short_run):
+        trace = simulate_trace(short_run, HardwareConfig(16, 8, 24))
+        assert trace.worst_case_seconds <= trace.total_seconds
+
+    def test_deterministic_given_seed(self, short_run):
+        a = simulate_trace(short_run, HardwareConfig(16, 8, 24), seed=3)
+        b = simulate_trace(short_run, HardwareConfig(16, 8, 24), seed=3)
+        assert a.simulated_cycles == b.simulated_cycles
+
+
+class TestRelaxationSolver:
+    @pytest.mark.parametrize("budget_ms", [20.0, 33.0, 60.0])
+    def test_near_optimal(self, budget_ms):
+        """The paper's YALMIP solve is 'near-optimal'; our relaxation
+        must stay within a few percent of the exact optimum."""
+        spec = DesignSpec(latency_budget_s=budget_ms / 1e3)
+        exact = exhaustive_search(spec)
+        relaxed = relaxation_search(spec)
+        assert relaxed.latency_s <= spec.latency_budget_s + 1e-9
+        gap = (relaxed.power_w - exact.power_w) / exact.power_w
+        assert gap < 0.08
+
+    def test_solution_is_feasible(self):
+        from repro.hw import DEFAULT_RESOURCE_MODEL
+
+        spec = DesignSpec(latency_budget_s=0.025)
+        outcome = relaxation_search(spec)
+        assert DEFAULT_RESOURCE_MODEL.fits(outcome.config, spec.platform)
+
+    def test_fast(self):
+        spec = DesignSpec(latency_budget_s=0.030)
+        outcome = relaxation_search(spec)
+        assert outcome.solve_seconds < 3.0

@@ -1,0 +1,104 @@
+"""Tests for the Evaluate/Update Cholesky and triangular solvers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SolverError
+from repro.linalg import (
+    backward_substitution,
+    cholesky_evaluate_update,
+    forward_substitution,
+    solve_cholesky,
+    solve_spd,
+)
+
+
+def random_spd(n, seed=0, conditioning=1.0):
+    rng = np.random.default_rng(seed)
+    a = rng.normal(size=(n, n))
+    return a @ a.T + conditioning * n * np.eye(n)
+
+
+class TestCholesky:
+    @pytest.mark.parametrize("n", [1, 2, 5, 12, 30])
+    def test_matches_numpy(self, n):
+        matrix = random_spd(n, seed=n)
+        factor, _ = cholesky_evaluate_update(matrix)
+        assert np.allclose(factor, np.linalg.cholesky(matrix), atol=1e-10)
+
+    def test_factor_reconstructs_input(self):
+        matrix = random_spd(8, seed=1)
+        factor, _ = cholesky_evaluate_update(matrix)
+        assert np.allclose(factor @ factor.T, matrix, atol=1e-10)
+
+    def test_op_counts_match_paper_model(self):
+        """At iteration i, Evaluate does m-i ops, Update (m-i-1)(m-i)/2."""
+        m = 9
+        _, counts = cholesky_evaluate_update(random_spd(m, seed=2))
+        assert len(counts) == m
+        for i, (ev, up) in enumerate(counts):
+            assert ev == m - i
+            assert up == (m - i - 1) * (m - i) // 2
+
+    def test_jitter_regularizes(self):
+        # A singular PSD matrix factors once jitter is added.
+        matrix = np.ones((4, 4))
+        with pytest.raises(SolverError):
+            cholesky_evaluate_update(matrix)
+        factor, _ = cholesky_evaluate_update(matrix, jitter=0.5)
+        assert np.allclose(factor @ factor.T, matrix + 0.5 * np.eye(4), atol=1e-10)
+
+    def test_non_spd_raises(self):
+        with pytest.raises(SolverError):
+            cholesky_evaluate_update(-np.eye(3))
+
+    @given(st.integers(min_value=1, max_value=20), st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_property_reconstruction(self, n, seed):
+        matrix = random_spd(n, seed=seed)
+        factor, _ = cholesky_evaluate_update(matrix)
+        assert np.allclose(factor @ factor.T, matrix, atol=1e-8 * n)
+        assert np.allclose(np.triu(factor, 1), 0.0)
+
+
+class TestSubstitution:
+    def test_forward(self):
+        lower = np.tril(random_spd(6, seed=3))
+        x = np.arange(1.0, 7.0)
+        assert np.allclose(forward_substitution(lower, lower @ x), x, atol=1e-8)
+
+    def test_backward(self):
+        upper = np.triu(random_spd(6, seed=4))
+        x = np.arange(1.0, 7.0)
+        assert np.allclose(backward_substitution(upper, upper @ x), x, atol=1e-8)
+
+    def test_zero_pivot_raises(self):
+        lower = np.eye(3)
+        lower[1, 1] = 0.0
+        with pytest.raises(SolverError):
+            forward_substitution(lower, np.ones(3))
+        with pytest.raises(SolverError):
+            backward_substitution(lower, np.ones(3))
+
+    def test_matrix_rhs(self):
+        lower = np.tril(random_spd(5, seed=5))
+        rhs = np.random.default_rng(0).normal(size=(5, 3))
+        y = forward_substitution(lower, rhs)
+        assert np.allclose(lower @ y, rhs, atol=1e-8)
+
+
+class TestSolve:
+    @pytest.mark.parametrize("n", [1, 4, 15])
+    def test_solve_spd(self, n):
+        matrix = random_spd(n, seed=n + 10)
+        x_true = np.linspace(-1.0, 1.0, n)
+        x = solve_spd(matrix, matrix @ x_true)
+        assert np.allclose(x, x_true, atol=1e-8)
+
+    def test_solve_cholesky_consistent(self):
+        matrix = random_spd(7, seed=20)
+        factor, _ = cholesky_evaluate_update(matrix)
+        rhs = np.arange(7.0)
+        assert np.allclose(matrix @ solve_cholesky(factor, rhs), rhs, atol=1e-8)

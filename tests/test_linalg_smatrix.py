@@ -1,0 +1,100 @@
+"""Tests for the compact S-matrix layout (Sec. 3.3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, DataError
+from repro.linalg import CompactSMatrix, SMatrixLayout
+from repro.linalg.smatrix import POSE_DOF
+
+
+def make_structured_contributions(k, b, seed=0):
+    """Random Si (tri-block-diagonal, symmetric) and Sc (6x6 corners)."""
+    rng = np.random.default_rng(seed)
+    n = k * b
+    si = np.zeros((n, n))
+    for i in range(b):
+        block = rng.normal(size=(k, k))
+        si[i * k : (i + 1) * k, i * k : (i + 1) * k] = block + block.T
+        if i + 1 < b:
+            sub = rng.normal(size=(k, k))
+            si[(i + 1) * k : (i + 2) * k, i * k : (i + 1) * k] = sub
+            si[i * k : (i + 1) * k, (i + 1) * k : (i + 2) * k] = sub.T
+    sc = np.zeros((n, n))
+    pose_blocks = rng.normal(size=(b * POSE_DOF, b * POSE_DOF))
+    pose_blocks = pose_blocks + pose_blocks.T
+    for i in range(b):
+        for j in range(b):
+            sc[i * k : i * k + POSE_DOF, j * k : j * k + POSE_DOF] = pose_blocks[
+                i * POSE_DOF : (i + 1) * POSE_DOF, j * POSE_DOF : (j + 1) * POSE_DOF
+            ]
+    return si, sc
+
+
+class TestLayoutModel:
+    def test_paper_headline_saving(self):
+        """k = 15, b = 15 gives the paper's ~78% saving over dense."""
+        layout = SMatrixLayout(k=15, b=15)
+        assert layout.dense_words == 50625
+        assert layout.compact_words == 18 * 225 + 2 * 15 * 225
+        assert layout.saving_vs_dense == pytest.approx(0.78, abs=0.01)
+
+    def test_beats_csr(self):
+        """Compact layout uses less space than symmetric CSR (paper: 17.8%)."""
+        layout = SMatrixLayout(k=15, b=15)
+        assert layout.compact_words < layout.csr_words(symmetric=True)
+        assert 0.05 < layout.saving_vs_csr < 0.35
+
+    def test_symmetry_only_saves_half(self):
+        layout = SMatrixLayout(k=15, b=15)
+        assert layout.symmetric_words == pytest.approx(layout.dense_words / 2, rel=0.01)
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            SMatrixLayout(k=3, b=15)
+        with pytest.raises(ConfigurationError):
+            SMatrixLayout(k=15, b=0)
+
+    @given(st.integers(min_value=6, max_value=30), st.integers(min_value=2, max_value=40))
+    @settings(max_examples=40)
+    def test_compact_always_beats_dense_for_real_sizes(self, k, b):
+        layout = SMatrixLayout(k=k, b=b)
+        if b >= 3 and k >= 10:
+            assert layout.compact_words < layout.dense_words
+
+    def test_pattern_nnz_counts(self):
+        layout = SMatrixLayout(k=15, b=15)
+        si_nnz = (3 * 15 - 2) * 225
+        sc_nnz = 36 * 225
+        overlap = 36 * (3 * 15 - 2)
+        assert layout.pattern_nnz == si_nnz + sc_nnz - overlap
+
+
+class TestCompactSMatrix:
+    def test_lossless_round_trip(self):
+        si, sc = make_structured_contributions(15, 6, seed=1)
+        compact = CompactSMatrix.from_contributions(si, sc)
+        assert np.allclose(compact.assemble(), si + sc, atol=1e-12)
+
+    def test_rejects_unstructured_si(self):
+        si, sc = make_structured_contributions(15, 4, seed=2)
+        si[0, 59] = 1.0  # far off-diagonal entry violates the structure
+        si[59, 0] = 1.0
+        with pytest.raises(DataError):
+            CompactSMatrix.from_contributions(si, sc)
+
+    def test_rejects_unstructured_sc(self):
+        si, sc = make_structured_contributions(15, 4, seed=3)
+        sc[10, 10] = 1.0  # outside the 6x6 pose corner
+        with pytest.raises(DataError):
+            CompactSMatrix.from_contributions(si, sc)
+
+    def test_stored_words_matches_model(self):
+        compact = CompactSMatrix(15, 12)
+        assert compact.stored_words == SMatrixLayout(15, 12).compact_words
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(DataError):
+            CompactSMatrix.from_contributions(np.eye(16), np.eye(16))

@@ -1,0 +1,129 @@
+"""Tests for M-DFG functional semantics and the DOT export."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphError
+from repro.mdfg import NodeType, build_linear_solver_mdfg, build_window_mdfg
+from repro.mdfg.export import to_dot
+from repro.mdfg.interpreter import evaluate_primitive, execute_linear_solver_graph
+from repro.data.stats import WindowStats
+
+
+def random_spd(n, seed=0):
+    rng = np.random.default_rng(seed)
+    a = rng.normal(size=(n, n))
+    return a @ a.T + n * np.eye(n)
+
+
+class TestPrimitiveSemantics:
+    def test_dmatinv(self):
+        assert np.allclose(
+            evaluate_primitive(NodeType.DMATINV, np.array([2.0, 4.0])), [0.5, 0.25]
+        )
+
+    def test_dmatinv_zero_raises(self):
+        with pytest.raises(GraphError):
+            evaluate_primitive(NodeType.DMATINV, np.array([1.0, 0.0]))
+
+    def test_matmul_matsub_mattp(self):
+        a = np.arange(6.0).reshape(2, 3)
+        b = np.arange(12.0).reshape(3, 4)
+        assert np.allclose(evaluate_primitive(NodeType.MATMUL, a, b), a @ b)
+        assert np.allclose(evaluate_primitive(NodeType.MATSUB, a, a), 0.0)
+        assert np.allclose(evaluate_primitive(NodeType.MATTP, a), a.T)
+
+    def test_dmatmul_is_row_scaling(self):
+        d = np.array([1.0, 2.0, 3.0])
+        m = np.ones((3, 4))
+        out = evaluate_primitive(NodeType.DMATMUL, d, m)
+        assert np.allclose(out, np.diag(d) @ m)
+
+    def test_cd_and_fbsub(self):
+        s = random_spd(6, seed=1)
+        factor = evaluate_primitive(NodeType.CD, s)
+        assert np.allclose(factor @ factor.T, s, atol=1e-9)
+        rhs = np.arange(6.0)
+        x = evaluate_primitive(NodeType.FBSUB, factor, rhs)
+        assert np.allclose(s @ x, rhs, atol=1e-8)
+
+    def test_jacobian_nodes_not_evaluable(self):
+        with pytest.raises(GraphError):
+            evaluate_primitive(NodeType.VJAC, np.zeros(3))
+
+
+class TestGraphExecution:
+    def _arrow_system(self, p, q, seed=0):
+        rng = np.random.default_rng(seed)
+        u = rng.uniform(1.0, 3.0, size=p)
+        w = rng.normal(size=(q, p))
+        v = random_spd(q, seed=seed + 1) + w @ np.diag(1.0 / u) @ w.T
+        bx, by = rng.normal(size=p), rng.normal(size=q)
+        return u, w, v, bx, by
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_graph_matches_dense_solution(self, seed):
+        """Executing the Fig. 3b M-DFG equals solving the arrow system."""
+        p, q = 14, 9
+        u, w, v, bx, by = self._arrow_system(p, q, seed)
+        graph = build_linear_solver_mdfg(p, q // 3, state_size=3)
+        d_lambda, d_state = execute_linear_solver_graph(graph, u, w, v, bx, by)
+        full = np.block([[np.diag(u), w.T], [w, v]])
+        reference = np.linalg.solve(full, np.concatenate([bx, by]))
+        assert np.allclose(d_lambda, reference[:p], atol=1e-8)
+        assert np.allclose(d_state, reference[p:], atol=1e-8)
+
+    def test_graph_matches_structured_solver(self):
+        """Graph execution equals the estimator's LinearSystem.solve."""
+        from repro.slam.problem import LinearSystem
+
+        p, q = 10, 6
+        u, w, v, bx, by = self._arrow_system(p, q, seed=5)
+        system = LinearSystem(
+            u_diag=u, w_block=w, v_block=v, b_x=bx, b_y=by,
+            feature_ids=list(range(p)), frame_ids=list(range(q // 15 + 1)),
+        )
+        d_lambda_ref, d_state_ref = system.solve(damping=0.0)
+        graph = build_linear_solver_mdfg(p, 2, state_size=3)
+        d_lambda, d_state = execute_linear_solver_graph(graph, u, w, v, bx, by)
+        assert np.allclose(d_lambda, d_lambda_ref, atol=1e-7)
+        assert np.allclose(d_state, d_state_ref, atol=1e-7)
+
+    @given(st.integers(min_value=0, max_value=5000))
+    @settings(max_examples=20, deadline=None)
+    def test_property_residual_is_zero(self, seed):
+        p, q = 8, 6
+        u, w, v, bx, by = self._arrow_system(p, q, seed)
+        graph = build_linear_solver_mdfg(p, 2, state_size=3)
+        d_lambda, d_state = execute_linear_solver_graph(graph, u, w, v, bx, by)
+        # Verify the solution satisfies both block equations.
+        assert np.allclose(u * d_lambda + w.T @ d_state, bx, atol=1e-7)
+        assert np.allclose(w @ d_lambda + v @ d_state, by, atol=1e-7)
+
+    def test_wrong_graph_rejected(self):
+        from repro.mdfg.graph import MDFG
+
+        graph = MDFG()
+        graph.add(NodeType.CD, (4,), "Cholesky")
+        with pytest.raises(GraphError):
+            execute_linear_solver_graph(
+                graph, np.ones(2), np.ones((3, 2)), np.eye(3), np.ones(2), np.ones(3)
+            )
+
+
+class TestDotExport:
+    def test_contains_all_nodes_and_edges(self):
+        stats = WindowStats(20, 4.0, 5, 3, num_observations=80)
+        graph = build_window_mdfg(stats, iterations=1)
+        dot = to_dot(graph)
+        assert dot.startswith("digraph")
+        assert dot.count("->") == graph.num_edges
+        assert dot.count("label=") == graph.num_nodes
+
+    def test_block_colors_present(self):
+        graph = build_linear_solver_mdfg(10, 3)
+        dot = to_dot(graph, name="solver")
+        assert "salmon" in dot  # Cholesky block color
+        assert '"solver"' in dot

@@ -1,0 +1,119 @@
+"""Cross-cutting property and failure-injection tests.
+
+Deeper invariants spanning modules: marginalization produces PSD priors
+on randomized problems, the estimator is deterministic, degenerate
+windows are survived, and the optimizer's feasibility contract holds
+across random specs.
+"""
+
+import numpy as np
+import pytest
+from dataclasses import replace
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InfeasibleDesignError
+from repro.hw import DEFAULT_RESOURCE_MODEL
+from repro.synth import DesignSpec, exhaustive_search
+from tests.test_slam_marginalization import three_frame_problem
+
+
+class TestMarginalizationProperties:
+    @given(st.integers(min_value=0, max_value=500))
+    @settings(max_examples=15, deadline=None)
+    def test_prior_always_psd(self, seed):
+        """Any marginalization of a well-posed window yields a positive
+        semi-definite prior (otherwise later windows become indefinite)."""
+        from repro.slam.marginalization import marginalize_window
+
+        problem = three_frame_problem(seed=seed)
+        result = marginalize_window(problem, 0)
+        assert result.prior is not None
+        eigvals = np.linalg.eigvalsh(result.prior.hp)
+        assert eigvals.min() >= -1e-8
+
+    @given(st.integers(min_value=0, max_value=500))
+    @settings(max_examples=10, deadline=None)
+    def test_prior_symmetric(self, seed):
+        from repro.slam.marginalization import marginalize_window
+
+        problem = three_frame_problem(seed=seed)
+        result = marginalize_window(problem, 0)
+        assert np.allclose(result.prior.hp, result.prior.hp.T)
+
+
+class TestEstimatorDeterminism:
+    def test_same_sequence_same_result(self):
+        from repro.data import make_euroc_sequence
+        from repro.slam import EstimatorConfig, SlidingWindowEstimator
+
+        sequence = make_euroc_sequence("MH_01", duration=3.0)
+        run_a = SlidingWindowEstimator(EstimatorConfig(window_size=6)).run(sequence)
+        run_b = SlidingWindowEstimator(EstimatorConfig(window_size=6)).run(sequence)
+        assert np.array_equal(
+            np.array(run_a.estimated_positions), np.array(run_b.estimated_positions)
+        )
+        assert run_a.iterations_used == run_b.iterations_used
+
+
+class TestDegenerateWindows:
+    def test_estimator_survives_feature_starvation(self):
+        """With an absurdly small feature budget the estimator must not
+        crash — accuracy degrades, the pipeline survives."""
+        from repro.data.sequences import EUROC_SEQUENCES, make_sequence
+        from repro.data.tracks import TrackerConfig
+        from repro.slam import EstimatorConfig, SlidingWindowEstimator
+
+        config = replace(
+            EUROC_SEQUENCES["MH_01"],
+            duration=4.0,
+            tracker=TrackerConfig(max_features=5),
+        )
+        sequence = make_sequence(config)
+        result = SlidingWindowEstimator(EstimatorConfig(window_size=6)).run(sequence)
+        assert result.num_windows == sequence.num_keyframes - 1
+        assert all(np.isfinite(w.final_cost) for w in result.windows)
+
+    def test_window_stats_handle_empty(self):
+        from repro.data.stats import WindowStats
+        from repro.hw.latency import window_latency_cycles
+        from repro.hw import HardwareConfig
+
+        empty = WindowStats(
+            num_features=0, avg_observations=0.0, num_keyframes=1, num_marginalized=0
+        )
+        cycles = window_latency_cycles(empty, HardwareConfig(4, 4, 4))
+        assert np.isfinite(cycles) and cycles > 0
+
+
+class TestOptimizerContract:
+    @given(
+        st.floats(min_value=18.0, max_value=120.0),
+        st.floats(min_value=0.5, max_value=1.0),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_feasible_or_explicit_infeasible(self, budget_ms, resource_budget):
+        """Every solve either returns a design meeting all constraints or
+        raises InfeasibleDesignError — never a silently-violating design."""
+        spec = DesignSpec(
+            latency_budget_s=budget_ms / 1e3, resource_budget=resource_budget
+        )
+        try:
+            outcome = exhaustive_search(spec)
+        except InfeasibleDesignError:
+            return
+        assert outcome.latency_s <= spec.latency_budget_s + 1e-12
+        utilization = DEFAULT_RESOURCE_MODEL.utilization(
+            outcome.config, spec.platform
+        )
+        assert all(u <= resource_budget + 1e-12 for u in utilization.values())
+
+    @given(st.floats(min_value=20.0, max_value=100.0))
+    @settings(max_examples=15, deadline=None)
+    def test_power_monotone_in_budget(self, budget_ms):
+        """Loosening the latency budget never increases optimal power."""
+        tight = exhaustive_search(DesignSpec(latency_budget_s=budget_ms / 1e3))
+        loose = exhaustive_search(
+            DesignSpec(latency_budget_s=(budget_ms + 10.0) / 1e3)
+        )
+        assert loose.power_w <= tight.power_w + 1e-12

@@ -1,0 +1,174 @@
+"""Tests for the run-time system (Sec. 6)."""
+
+import numpy as np
+import pytest
+
+from repro.data.stats import WindowStats
+from repro.errors import ConfigurationError
+from repro.hw import DEFAULT_POWER_MODEL, HardwareConfig
+from repro.runtime import (
+    IterationTable,
+    ReconfigurationTable,
+    RuntimeController,
+    TwoBitSaturatingCounter,
+    build_iteration_table,
+    build_reconfiguration_table,
+)
+from repro.runtime.profiler import MAX_ITERATIONS
+from repro.synth import DesignSpec, high_perf_design
+
+
+def make_stats(features, am=20):
+    return WindowStats(
+        num_features=features,
+        avg_observations=10.0,
+        num_keyframes=15,
+        num_marginalized=am,
+        num_observations=int(features * 10),
+    )
+
+
+class TestIterationTable:
+    def test_lookup_monotone(self):
+        table = IterationTable()
+        iters = [table.lookup(n) for n in (0, 30, 60, 100, 160, 220, 400)]
+        assert all(b <= a for a, b in zip(iters, iters[1:]))
+
+    def test_sparse_windows_get_max_iterations(self):
+        table = IterationTable()
+        assert table.lookup(5) == MAX_ITERATIONS
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            IterationTable(thresholds=(10, 5), iterations=(6, 5, 4))
+        with pytest.raises(ConfigurationError):
+            IterationTable(thresholds=(10,), iterations=(2, 6))  # increasing
+        with pytest.raises(ConfigurationError):
+            IterationTable(thresholds=(10,), iterations=(9, 1))  # above cap
+        with pytest.raises(ConfigurationError):
+            IterationTable().lookup(-1)
+
+    def test_build_from_profile(self):
+        """A synthetic profile where high feature counts reach the target
+        accuracy with few iterations."""
+        profile = {}
+        for cap in (1, 2, 4, 6):
+            samples = []
+            for count in range(10, 400, 10):
+                # Error falls with both iterations and feature count.
+                error = 1.0 / (cap * np.sqrt(count))
+                samples.append((count, error))
+            profile[cap] = samples
+        table = build_iteration_table(profile)
+        assert table.lookup(20) >= table.lookup(300)
+        assert 1 <= table.lookup(300) <= MAX_ITERATIONS
+
+
+class TestSaturatingCounter:
+    def test_single_disagreement_ignored(self):
+        counter = TwoBitSaturatingCounter(initial=6)
+        assert counter.update(3) == 6  # first proposal: pending only
+        assert counter.update(6) == 6  # back to agreement: reset
+        assert counter.update(3) == 6
+        assert counter.transitions == 0
+
+    def test_two_consecutive_agreements_apply(self):
+        counter = TwoBitSaturatingCounter(initial=6)
+        counter.update(3)
+        assert counter.update(3) == 3
+        assert counter.transitions == 1
+
+    def test_changing_proposals_reset_confidence(self):
+        counter = TwoBitSaturatingCounter(initial=6)
+        counter.update(3)
+        counter.update(4)  # different proposal: restart confidence
+        assert counter.current == 6
+        assert counter.update(4) == 4
+
+    def test_threshold_validation(self):
+        with pytest.raises(ConfigurationError):
+            TwoBitSaturatingCounter(initial=6, threshold=0)
+
+
+class TestReconfigurationTable:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        result = high_perf_design()
+        table = build_reconfiguration_table(result.config, result.spec)
+        return result, table
+
+    def test_entries_for_all_iterations(self, setup):
+        _, table = setup
+        assert sorted(table.entries) == list(range(1, MAX_ITERATIONS + 1))
+
+    def test_entries_fit_inside_static(self, setup):
+        """Equ. 18's key constraint: gated configs never exceed the
+        static design (clock gating cannot add hardware)."""
+        result, table = setup
+        for config in table.entries.values():
+            assert config.dominates(result.config)
+
+    def test_fewer_iterations_never_more_power(self, setup):
+        _, table = setup
+        powers = [table.gated_power(i) for i in range(1, MAX_ITERATIONS + 1)]
+        assert all(a <= b + 1e-12 for a, b in zip(powers, powers[1:]))
+
+    def test_gated_power_between_bounds(self, setup):
+        result, table = setup
+        static_power = DEFAULT_POWER_MODEL.power(result.config)
+        for i in range(1, MAX_ITERATIONS + 1):
+            assert table.gated_power(i) <= static_power + 1e-12
+
+    def test_reduced_iterations_meet_budget(self, setup):
+        """Every gated config must still meet the latency budget at its
+        iteration count."""
+        from repro.hw.latency import window_latency_seconds
+
+        result, table = setup
+        for iterations, config in table.entries.items():
+            latency = window_latency_seconds(
+                result.spec.workload, config, iterations, result.spec.platform
+            )
+            assert latency <= result.spec.latency_budget_s + 1e-9
+
+    def test_lookup_clamps(self, setup):
+        _, table = setup
+        assert table.lookup(0) == table.entries[1]
+        assert table.lookup(99) == table.entries[MAX_ITERATIONS]
+
+
+class TestRuntimeController:
+    @pytest.fixture()
+    def controller(self):
+        result = high_perf_design()
+        reconfig = build_reconfiguration_table(result.config, result.spec)
+        return RuntimeController(table=IterationTable(), reconfig=reconfig)
+
+    def test_rich_windows_save_energy(self, controller):
+        # Plenty of features -> few iterations -> gated-down hardware.
+        for _ in range(10):
+            controller.process_window(make_stats(300))
+        assert controller.energy_saving > 0.2
+
+    def test_sparse_windows_save_little(self, controller):
+        for _ in range(10):
+            controller.process_window(make_stats(20))
+        # Max iterations: only latency-slack gating remains.
+        assert controller.energy_saving < 0.2
+
+    def test_hysteresis_limits_reconfigurations(self, controller):
+        # Alternating proposals should not cause thrashing.
+        for i in range(20):
+            controller.process_window(make_stats(300 if i % 2 == 0 else 20))
+        assert controller.num_reconfigurations <= 2
+
+    def test_decision_bookkeeping(self, controller):
+        decision = controller.process_window(make_stats(300))
+        assert decision.energy_j > 0
+        assert decision.static_energy_j >= decision.energy_j
+        assert decision.proposed_iterations == IterationTable().lookup(300)
+
+    def test_iteration_policy_adapter(self, controller):
+        # First call proposes a change; hysteresis keeps the old value.
+        assert controller.iteration_policy(300) == MAX_ITERATIONS
+        assert controller.iteration_policy(300) == IterationTable().lookup(300)

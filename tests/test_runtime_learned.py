@@ -1,0 +1,80 @@
+"""Tests for the learned iteration policy (future-work extension)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.runtime.learned import LearnedIterationPolicy, train_iteration_policy
+from repro.runtime.profiler import MAX_ITERATIONS
+
+
+def synthetic_profile(num_windows=120, seed=0):
+    """Profiling data with the physical structure: error falls with both
+    iterations and feature count, so sparse windows need more passes."""
+    rng = np.random.default_rng(seed)
+    counts = rng.integers(10, 300, size=num_windows)
+    profile = {}
+    for cap in (1, 2, 3, 4, 6):
+        samples = []
+        for count in counts:
+            error = (2.0 / cap**1.2) * (30.0 / np.sqrt(count))
+            error *= rng.uniform(0.9, 1.1)
+            samples.append((int(count), float(error)))
+        profile[cap] = samples
+    return profile
+
+
+class TestTraining:
+    def test_rejects_empty_profile(self):
+        with pytest.raises(ConfigurationError):
+            train_iteration_policy({})
+
+    def test_rejects_mismatched_windows(self):
+        profile = synthetic_profile()
+        profile[1] = profile[1][:-3]
+        with pytest.raises(ConfigurationError):
+            train_iteration_policy(profile)
+
+    def test_predictions_in_range(self):
+        policy = train_iteration_policy(synthetic_profile())
+        for count in (1, 20, 80, 150, 500):
+            assert 1 <= policy.predict(count) <= MAX_ITERATIONS
+
+    def test_sparse_windows_need_more_iterations(self):
+        policy = train_iteration_policy(
+            synthetic_profile(), accuracy_target=1.0
+        )
+        assert policy.predict(15) >= policy.predict(250)
+
+    def test_tighter_target_needs_more_iterations(self):
+        profile = synthetic_profile()
+        loose = train_iteration_policy(profile, accuracy_target=3.0)
+        tight = train_iteration_policy(profile, accuracy_target=0.5)
+        count = 60
+        assert tight.predict(count) >= loose.predict(count)
+
+    def test_callable_interface(self):
+        policy = train_iteration_policy(synthetic_profile())
+        assert policy(100) == policy.predict(100)
+
+
+class TestIntegrationWithEstimator:
+    def test_policy_plugs_into_estimator(self):
+        from repro.data import make_euroc_sequence
+        from repro.slam import EstimatorConfig, SlidingWindowEstimator
+
+        policy = train_iteration_policy(synthetic_profile(), accuracy_target=1.0)
+        sequence = make_euroc_sequence("MH_01", duration=4.0)
+        estimator = SlidingWindowEstimator(
+            EstimatorConfig(window_size=6, iteration_policy=policy)
+        )
+        result = estimator.run(sequence)
+        assert all(1 <= i <= MAX_ITERATIONS for i in result.iterations_used)
+
+    def test_generalizes_between_buckets(self):
+        """Unlike the lookup table, predictions vary smoothly: neighbors
+        differ by at most one iteration."""
+        policy = train_iteration_policy(synthetic_profile(), accuracy_target=1.0)
+        predictions = [policy.predict(n) for n in range(10, 300, 5)]
+        jumps = [abs(b - a) for a, b in zip(predictions, predictions[1:])]
+        assert max(jumps) <= 1

@@ -1,0 +1,106 @@
+"""Integration tests of the sliding-window estimator on short sequences."""
+
+import numpy as np
+import pytest
+
+from repro.data import make_euroc_sequence
+from repro.slam import (
+    EstimatorConfig,
+    SlidingWindowEstimator,
+    absolute_trajectory_error,
+)
+from repro.slam.nls import LMConfig
+
+
+@pytest.fixture(scope="module")
+def short_run():
+    sequence = make_euroc_sequence("MH_01", duration=6.0)
+    estimator = SlidingWindowEstimator(
+        EstimatorConfig(window_size=8, lm=LMConfig(max_iterations=6))
+    )
+    return sequence, estimator.run(sequence)
+
+
+class TestEstimatorRun:
+    def test_one_window_per_keyframe_after_first(self, short_run):
+        sequence, result = short_run
+        assert result.num_windows == sequence.num_keyframes - 1
+
+    def test_accuracy_reaches_centimeters(self, short_run):
+        _, result = short_run
+        errors = [w.newest_position_error for w in result.windows[5:]]
+        assert np.mean(errors) < 0.15
+        assert max(errors) < 0.5
+
+    def test_ate_is_small(self, short_run):
+        _, result = short_run
+        ate = absolute_trajectory_error(
+            np.array(result.estimated_positions), np.array(result.true_positions)
+        )
+        assert ate < 0.15
+
+    def test_window_never_exceeds_configured_size(self, short_run):
+        _, result = short_run
+        assert max(len(w.frame_ids) for w in result.windows) <= 9
+        # After warm-up the window is exactly at capacity + the incoming frame.
+        assert len(result.windows[-1].frame_ids) == 9
+
+    def test_stats_are_populated(self, short_run):
+        _, result = short_run
+        steady = result.windows[10:]
+        assert all(w.stats.num_features > 10 for w in steady)
+        assert all(w.stats.avg_observations >= 1.0 for w in steady)
+        assert all(w.stats.state_size == 15 for w in steady)
+
+    def test_iteration_counts_recorded(self, short_run):
+        _, result = short_run
+        assert len(result.iterations_used) == result.num_windows
+        assert all(1 <= i <= 6 for i in result.iterations_used)
+
+    def test_costs_decrease_within_windows(self, short_run):
+        _, result = short_run
+        improved = sum(1 for w in result.windows if w.final_cost <= w.initial_cost)
+        assert improved == result.num_windows
+
+
+class TestIterationPolicy:
+    def test_policy_caps_iterations(self):
+        sequence = make_euroc_sequence("MH_01", duration=4.0)
+        estimator = SlidingWindowEstimator(
+            EstimatorConfig(window_size=6, iteration_policy=lambda n: 2)
+        )
+        result = estimator.run(sequence)
+        assert all(i <= 2 for i in result.iterations_used)
+
+    def test_policy_receives_feature_count(self):
+        sequence = make_euroc_sequence("MH_01", duration=4.0)
+        seen = []
+
+        def policy(count):
+            seen.append(count)
+            return 3
+
+        estimator = SlidingWindowEstimator(
+            EstimatorConfig(window_size=6, iteration_policy=policy)
+        )
+        result = estimator.run(sequence)
+        assert seen == result.feature_counts
+
+    def test_max_keyframes_limits_run(self):
+        sequence = make_euroc_sequence("MH_01", duration=6.0)
+        estimator = SlidingWindowEstimator(EstimatorConfig(window_size=6))
+        result = estimator.run(sequence, max_keyframes=10)
+        assert result.num_windows == 9
+
+    def test_fewer_iterations_no_better_accuracy(self):
+        """The Sec. 6 premise: cutting iterations cannot improve accuracy
+        on average (it trades accuracy for energy)."""
+        sequence = make_euroc_sequence("MH_02", duration=6.0)
+        errors = {}
+        for cap in (1, 6):
+            estimator = SlidingWindowEstimator(
+                EstimatorConfig(window_size=8, iteration_policy=lambda n, c=cap: c)
+            )
+            result = estimator.run(sequence)
+            errors[cap] = np.mean([w.relative_error for w in result.windows[5:]])
+        assert errors[6] <= errors[1] * 1.5  # 6 iterations never much worse

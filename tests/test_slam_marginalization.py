@@ -1,0 +1,135 @@
+"""Tests for marginalization: the prior must preserve information."""
+
+import numpy as np
+import pytest
+
+from repro.slam.marginalization import marginalize_window
+from repro.slam.nls import LMConfig, levenberg_marquardt
+from repro.slam.problem import WindowProblem
+from tests.test_slam_problem import tiny_problem
+
+
+def three_frame_problem(seed=0):
+    """Extend the tiny two-frame problem with a third keyframe."""
+    import numpy as np
+
+    from repro.geometry import SE3, NavState
+    from repro.imu import ImuPreintegration
+    from repro.slam.residuals import ImuFactor, VisualFactor
+
+    problem, _ = tiny_problem(seed=seed, num_features=8)
+    rng = np.random.default_rng(seed + 100)
+    camera = problem.camera
+
+    true_pose2 = SE3(np.eye(3), np.array([0.8, 0.0, 0.0]))
+    states = dict(problem.states)
+    states[2] = NavState(
+        pose=SE3(np.eye(3), np.array([0.75, 0.03, 0.01])),
+        velocity=np.array([1.0, 0.0, 0.0]),
+    )
+
+    visual = list(problem.visual_factors)
+    for fid, inv_depth in problem.inv_depths.items():
+        anchor_factor = next(f for f in visual if f.feature_id == fid)
+        point_w = anchor_factor.bearing / inv_depth  # anchor is identity
+        pixel = camera.project(true_pose2, point_w) + rng.normal(scale=1.0, size=2)
+        visual.append(VisualFactor(fid, 0, 2, anchor_factor.bearing, pixel))
+
+    pre = ImuPreintegration()
+    for _ in range(40):
+        pre.integrate(np.zeros(3), np.array([0.0, 0.0, 9.81]), 0.01, 1e-3, 1e-2)
+    imu = list(problem.imu_factors) + [ImuFactor(1, 2, pre)]
+
+    return WindowProblem(
+        camera=camera,
+        states=states,
+        inv_depths=dict(problem.inv_depths),
+        visual_factors=visual,
+        imu_factors=imu,
+        priors=list(problem.priors),
+    )
+
+
+class TestMarginalization:
+    def test_unknown_frame_raises(self):
+        problem, _ = tiny_problem()
+        with pytest.raises(ValueError):
+            marginalize_window(problem, 99)
+
+    def test_counts_marginalized_features(self):
+        problem = three_frame_problem()
+        result = marginalize_window(problem, 0)
+        # All features are anchored at frame 0 in this construction.
+        assert sorted(result.marginalized_features) == sorted(problem.inv_depths)
+
+    def test_prior_covers_remaining_frames(self):
+        problem = three_frame_problem()
+        result = marginalize_window(problem, 0)
+        assert result.prior is not None
+        assert result.prior.frame_ids == [1, 2]
+        assert result.prior.hp.shape == (30, 30)
+
+    def test_prior_is_positive_semidefinite(self):
+        problem = three_frame_problem()
+        result = marginalize_window(problem, 0)
+        eigvals = np.linalg.eigvalsh(result.prior.hp)
+        assert eigvals.min() >= -1e-9
+
+    def test_prior_preserves_normal_equations(self):
+        """Schur identity: (prior + remaining factors) must equal the
+        Schur complement of the full linearized system onto kept states."""
+        problem = three_frame_problem()
+        result = marginalize_window(problem, 0)
+        prior = result.prior
+
+        # Full linearized system over [features, kf0, kf1, kf2] at the
+        # same linearization point, using the problem's own assembly.
+        system = problem.build_linear_system()
+        p = len(system.feature_ids)
+        u = np.maximum(system.u_diag, 1e-8)
+        full = np.block(
+            [[np.diag(u), system.w_block.T], [system.w_block, system.v_block]]
+        )
+        rhs = np.concatenate([system.b_x, system.b_y])
+        m_dim = p + 15  # all features + kf0 are marginalized
+        m_block = full[:m_dim, :m_dim]
+        lam = full[m_dim:, :m_dim]
+        a_block = full[m_dim:, m_dim:]
+        hp_ref = a_block - lam @ np.linalg.inv(m_block) @ lam.T
+        rp_ref = rhs[m_dim:] - lam @ np.linalg.inv(m_block) @ rhs[:m_dim]
+
+        # Reduced system = prior + the factors that stay active (IMU 1->2).
+        reduced = WindowProblem(
+            camera=problem.camera,
+            states={1: problem.states[1], 2: problem.states[2]},
+            inv_depths={},
+            visual_factors=[],
+            imu_factors=[f for f in problem.imu_factors if f.frame_i != 0],
+            priors=[prior],
+        )
+        red_sys = reduced.build_linear_system()
+        scale = max(np.abs(hp_ref).max(), 1.0)
+        assert np.allclose(red_sys.v_block, hp_ref, atol=1e-6 * scale)
+        assert np.allclose(red_sys.b_y, rp_ref, atol=1e-6 * max(np.abs(rp_ref).max(), 1.0))
+
+    def test_marginalized_estimator_tracks_batch(self):
+        """After marginalization, re-optimizing the remaining problem must
+        stay close to the full-problem optimum for the kept states."""
+        problem = three_frame_problem()
+        full_result = levenberg_marquardt(problem, LMConfig(max_iterations=15))
+
+        marg = marginalize_window(problem, 0)
+        reduced = WindowProblem(
+            camera=problem.camera,
+            states={1: problem.states[1], 2: problem.states[2]},
+            inv_depths={},
+            visual_factors=[],
+            imu_factors=[f for f in problem.imu_factors if f.frame_i != 0],
+            priors=[marg.prior],
+        )
+        reduced_result = levenberg_marquardt(reduced, LMConfig(max_iterations=15))
+
+        for fid in (1, 2):
+            full_pos = full_result.problem.states[fid].position
+            red_pos = reduced_result.problem.states[fid].position
+            assert np.linalg.norm(full_pos - red_pos) < 0.02

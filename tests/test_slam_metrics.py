@@ -1,0 +1,81 @@
+"""Tests for accuracy metrics."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import random_rotation
+from repro.slam.metrics import (
+    absolute_trajectory_error,
+    relative_errors,
+    rmse,
+    translational_error_cm,
+    umeyama_alignment,
+)
+
+
+class TestRmse:
+    def test_zero_for_empty(self):
+        assert rmse(np.array([])) == 0.0
+
+    def test_known_value(self):
+        assert rmse(np.array([3.0, 4.0])) == pytest.approx(np.sqrt(12.5))
+
+    def test_scale(self):
+        errors = np.array([1.0, 2.0, 3.0])
+        assert rmse(2 * errors) == pytest.approx(2 * rmse(errors))
+
+
+class TestAlignment:
+    def test_recovers_rigid_transform(self):
+        rng = np.random.default_rng(0)
+        reference = rng.normal(size=(20, 3))
+        rotation = random_rotation(rng)
+        translation = np.array([1.0, -2.0, 0.5])
+        estimated = (reference - translation) @ rotation  # inverse transform
+        rot, trans = umeyama_alignment(estimated, reference)
+        aligned = estimated @ rot.T + trans
+        assert np.allclose(aligned, reference, atol=1e-10)
+
+    def test_requires_enough_points(self):
+        with pytest.raises(ValueError):
+            umeyama_alignment(np.zeros((2, 3)), np.zeros((2, 3)))
+
+
+class TestAte:
+    def test_zero_for_identical(self):
+        traj = np.random.default_rng(1).normal(size=(10, 3))
+        assert absolute_trajectory_error(traj, traj) == pytest.approx(0.0, abs=1e-12)
+
+    def test_alignment_removes_gauge(self):
+        rng = np.random.default_rng(2)
+        reference = rng.normal(size=(15, 3))
+        rotation = random_rotation(rng)
+        estimated = reference @ rotation.T + np.array([5.0, 5.0, 5.0])
+        assert absolute_trajectory_error(estimated, reference) < 1e-9
+        assert absolute_trajectory_error(estimated, reference, align=False) > 1.0
+
+
+class TestRelativeErrors:
+    def test_drift_free_translation_offset(self):
+        """A constant offset (accumulated drift) has zero relative error."""
+        rng = np.random.default_rng(3)
+        reference = np.cumsum(rng.normal(size=(20, 3)), axis=0)
+        estimated = reference + np.array([10.0, 0.0, 0.0])
+        assert np.allclose(relative_errors(estimated, reference), 0.0)
+
+    def test_detects_local_error(self):
+        reference = np.zeros((5, 3))
+        estimated = np.zeros((5, 3))
+        estimated[2, 0] = 0.5
+        errors = relative_errors(estimated, reference)
+        assert errors.max() == pytest.approx(0.5)
+
+    def test_short_input(self):
+        assert relative_errors(np.zeros((1, 3)), np.zeros((1, 3))).size == 0
+
+
+class TestTranslationalErrorCm:
+    def test_unit_conversion(self):
+        est = np.array([[0.01, 0.0, 0.0]])
+        ref = np.zeros((1, 3))
+        assert translational_error_cm(est, ref) == pytest.approx(1.0)

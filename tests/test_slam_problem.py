@@ -1,0 +1,149 @@
+"""Tests for window-problem assembly and the structured solve."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SolverError
+from repro.geometry import SE3, NavState
+from repro.geometry.camera import PinholeCamera
+from repro.geometry.navstate import STATE_DIM
+from repro.imu import ImuPreintegration
+from repro.slam.problem import WindowProblem
+from repro.slam.residuals import ImuFactor, VisualFactor, make_pose_anchor_prior
+
+
+def tiny_problem(seed=0, num_features=6, noise=1.0):
+    """Two keyframes, a handful of features, one IMU factor, one prior."""
+    rng = np.random.default_rng(seed)
+    camera = PinholeCamera()
+    state0 = NavState(pose=SE3(np.eye(3), np.zeros(3)), velocity=np.array([1.0, 0, 0]))
+    true_pose1 = SE3(np.eye(3), np.array([0.4, 0.0, 0.0]))
+
+    factors, inv_depths = [], {}
+    for fid in range(num_features):
+        bearing = np.array([rng.uniform(-0.4, 0.4), rng.uniform(-0.3, 0.3), 1.0])
+        depth = rng.uniform(3.0, 8.0)
+        point_w = bearing * depth  # anchor at identity
+        pixel = camera.project(true_pose1, point_w) + rng.normal(scale=noise, size=2)
+        factors.append(VisualFactor(fid, 0, 1, bearing, pixel))
+        inv_depths[fid] = 1.0 / depth * rng.uniform(0.8, 1.25)  # perturbed init
+
+    pre = ImuPreintegration()
+    # Constant velocity, flat attitude: specific force = -gravity.
+    for _ in range(40):
+        pre.integrate(np.zeros(3), np.array([0.0, 0.0, 9.81]), 0.01, 1e-3, 1e-2)
+    state1_init = NavState(
+        pose=SE3(np.eye(3), np.array([0.35, 0.05, -0.02])),
+        velocity=np.array([1.0, 0.05, 0.0]),
+    )
+    problem = WindowProblem(
+        camera=camera,
+        states={0: state0, 1: state1_init},
+        inv_depths=inv_depths,
+        visual_factors=factors,
+        imu_factors=[ImuFactor(0, 1, pre)],
+        priors=[make_pose_anchor_prior(0, state0)],
+    )
+    return problem, true_pose1
+
+
+class TestWindowProblem:
+    def test_validation_rejects_unknown_frames(self):
+        camera = PinholeCamera()
+        with pytest.raises(SolverError):
+            WindowProblem(
+                camera=camera,
+                states={0: NavState()},
+                inv_depths={0: 0.2},
+                visual_factors=[
+                    VisualFactor(0, 0, 7, np.array([0, 0, 1.0]), np.zeros(2))
+                ],
+            )
+
+    def test_validation_rejects_missing_depth(self):
+        camera = PinholeCamera()
+        with pytest.raises(SolverError):
+            WindowProblem(
+                camera=camera,
+                states={0: NavState(), 1: NavState()},
+                inv_depths={},
+                visual_factors=[
+                    VisualFactor(0, 0, 1, np.array([0, 0, 1.0]), np.zeros(2))
+                ],
+            )
+
+    def test_system_dimensions(self):
+        problem, _ = tiny_problem(num_features=5)
+        system = problem.build_linear_system()
+        assert system.u_diag.shape == (5,)
+        assert system.w_block.shape == (2 * STATE_DIM, 5)
+        assert system.v_block.shape == (2 * STATE_DIM, 2 * STATE_DIM)
+        assert system.num_features == 5
+        assert system.num_frames == 2
+
+    def test_v_block_symmetric(self):
+        problem, _ = tiny_problem()
+        system = problem.build_linear_system()
+        assert np.allclose(system.v_block, system.v_block.T, atol=1e-9)
+
+    def test_structured_solve_matches_dense(self):
+        """The D-type Schur path must equal solving the full arrow system."""
+        problem, _ = tiny_problem(num_features=8)
+        system = problem.build_linear_system()
+        damping = 1e-3
+        d_lambda, d_state = system.solve(damping=damping)
+
+        p = len(system.feature_ids)
+        u = np.maximum(system.u_diag, 1e-8) + damping
+        full = np.block(
+            [
+                [np.diag(u), system.w_block.T],
+                [system.w_block, system.v_block + damping * np.eye(system.v_block.shape[0])],
+            ]
+        )
+        rhs = np.concatenate([system.b_x, system.b_y])
+        reference = np.linalg.solve(full, rhs)
+        assert np.allclose(d_lambda, reference[:p], atol=1e-6)
+        assert np.allclose(d_state, reference[p:], atol=1e-6)
+
+    def test_gradient_matches_numeric(self):
+        """b_y must be the negative gradient of the cost wrt keyframe states."""
+        problem, _ = tiny_problem(num_features=4)
+        system = problem.build_linear_system()
+        eps = 1e-6
+        frame_ids = system.frame_ids
+        for fi, fid in enumerate(frame_ids):
+            for k in range(STATE_DIM):
+                d = np.zeros(STATE_DIM)
+                d[k] = eps
+                plus = dict(problem.states)
+                plus[fid] = plus[fid].retract(d)
+                minus = dict(problem.states)
+                minus[fid] = minus[fid].retract(-d)
+                p_plus = WindowProblem(
+                    problem.camera, plus, problem.inv_depths,
+                    problem.visual_factors, problem.imu_factors, problem.priors,
+                )
+                p_minus = WindowProblem(
+                    problem.camera, minus, problem.inv_depths,
+                    problem.visual_factors, problem.imu_factors, problem.priors,
+                )
+                numeric = (p_plus.cost() - p_minus.cost()) / (2 * eps)
+                assert np.isclose(
+                    -system.b_y[STATE_DIM * fi + k], numeric, rtol=2e-3, atol=2e-3
+                )
+
+    def test_step_reduces_cost(self):
+        problem, _ = tiny_problem(num_features=8)
+        system = problem.build_linear_system()
+        d_lambda, d_state = system.solve(damping=1e-4)
+        stepped = problem.stepped(d_lambda, d_state, system)
+        assert stepped.cost() < problem.cost()
+
+    def test_stepped_does_not_mutate_original(self):
+        problem, _ = tiny_problem()
+        before = problem.cost()
+        system = problem.build_linear_system()
+        d_lambda, d_state = system.solve(damping=1e-4)
+        problem.stepped(d_lambda, d_state, system)
+        assert problem.cost() == pytest.approx(before)

@@ -1,0 +1,158 @@
+"""Tests for the synthesizer: optimization, Pareto frontier, DSE."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, InfeasibleDesignError
+from repro.hw import DEFAULT_POWER_MODEL, DEFAULT_RESOURCE_MODEL, LatencyModel
+from repro.hw.fpga import KINTEX7_160T, VIRTEX7_690T, ZC706
+from repro.synth import (
+    DesignSpec,
+    Objective,
+    biggest_fit_design,
+    design_space_metrics,
+    exhaustive_search,
+    exhaustive_flow_years,
+    high_perf_design,
+    low_power_design,
+    minimize_latency,
+    pareto_frontier,
+    perturb_and_validate,
+    pruned_search,
+    synthesize,
+)
+
+
+class TestDesignSpec:
+    def test_rejects_bad_budget(self):
+        with pytest.raises(ConfigurationError):
+            DesignSpec(latency_budget_s=0.0)
+        with pytest.raises(ConfigurationError):
+            DesignSpec(resource_budget=1.5)
+        with pytest.raises(ConfigurationError):
+            DesignSpec(iterations=0)
+
+
+class TestOptimizers:
+    def test_exhaustive_and_pruned_agree(self):
+        for budget_ms in (20.0, 33.0, 60.0):
+            spec = DesignSpec(latency_budget_s=budget_ms / 1e3)
+            a = exhaustive_search(spec)
+            b = pruned_search(spec)
+            assert a.config == b.config
+            assert a.power_w == pytest.approx(b.power_w)
+
+    def test_pruned_touches_fewer_points(self):
+        spec = DesignSpec(latency_budget_s=0.033)
+        a = exhaustive_search(spec)
+        b = pruned_search(spec)
+        assert b.evaluated_points < a.evaluated_points
+
+    def test_solution_meets_constraints(self):
+        spec = DesignSpec(latency_budget_s=0.025)
+        outcome = exhaustive_search(spec)
+        assert outcome.latency_s <= spec.latency_budget_s + 1e-12
+        assert DEFAULT_RESOURCE_MODEL.fits(outcome.config, spec.platform)
+
+    def test_tighter_budget_needs_more_power(self):
+        loose = exhaustive_search(DesignSpec(latency_budget_s=0.060))
+        tight = exhaustive_search(DesignSpec(latency_budget_s=0.020))
+        assert tight.power_w > loose.power_w
+
+    def test_infeasible_raises(self):
+        with pytest.raises(InfeasibleDesignError):
+            exhaustive_search(DesignSpec(latency_budget_s=0.001))
+
+    def test_minimize_latency_ignores_budget(self):
+        spec = DesignSpec(latency_budget_s=0.5, objective=Objective.LATENCY)
+        outcome = minimize_latency(spec)
+        assert outcome.latency_s < 0.025  # near the feasible floor
+        assert DEFAULT_RESOURCE_MODEL.fits(outcome.config, spec.platform)
+
+    def test_solve_is_fast(self):
+        """Sec. 7.3: design identification takes seconds, not years."""
+        outcome = exhaustive_search(DesignSpec())
+        assert outcome.solve_seconds < 3.0
+
+
+class TestNamedDesigns:
+    def test_high_perf_meets_20ms(self):
+        result = high_perf_design()
+        assert result.latency_s <= 0.020 + 1e-12
+        assert result.power_w > low_power_design().power_w
+
+    def test_low_power_meets_33ms(self):
+        result = low_power_design()
+        assert result.latency_s <= 0.033 + 1e-12
+
+    def test_high_perf_uses_more_resources(self):
+        """Tbl. 2's qualitative content: High-Perf > Low-Power on every
+        resource, with roughly a 2 W power gap."""
+        hp, lp = high_perf_design(), low_power_design()
+        for kind in hp.utilization:
+            assert hp.utilization[kind] > lp.utilization[kind]
+        assert 1.0 < hp.power_w - lp.power_w < 3.0
+
+    def test_biggest_fit_ranks_boards(self):
+        """Sec. 7.7: a bigger FPGA admits a faster design."""
+        kintex = biggest_fit_design(KINTEX7_160T)
+        zc706 = biggest_fit_design(ZC706)
+        virtex = biggest_fit_design(VIRTEX7_690T)
+        assert virtex.latency_s <= zc706.latency_s <= kintex.latency_s
+
+    def test_emit_verilog(self):
+        files = high_perf_design().emit_verilog()
+        assert "archytas_top.v" in files
+        top = files["archytas_top.v"]
+        assert "module archytas_top" in top
+        assert "cfg_nd_active" in top  # the run-time reconfig interface
+
+
+class TestPareto:
+    @pytest.fixture(scope="class")
+    def frontier(self):
+        return pareto_frontier()
+
+    def test_frontier_nonempty_and_sorted(self, frontier):
+        assert len(frontier) >= 5
+        latencies = [p.latency_s for p in frontier]
+        assert latencies == sorted(latencies)
+
+    def test_frontier_is_non_dominated(self, frontier):
+        for p in frontier:
+            for q in frontier:
+                if q is not p:
+                    assert not (
+                        q.latency_s <= p.latency_s and q.power_w < p.power_w
+                    )
+
+    def test_power_decreases_along_frontier(self, frontier):
+        powers = [p.power_w for p in frontier]
+        assert all(b <= a for a, b in zip(powers, powers[1:]))
+
+    def test_frontier_spans_paper_ranges(self, frontier):
+        """Sec. 7.2: the generated designs cover a several-x performance
+        range and ~2x power range."""
+        lat_ratio = frontier[-1].latency_s / frontier[0].latency_s
+        pow_ratio = frontier[0].power_w / frontier[-1].power_w
+        assert lat_ratio > 2.0
+        assert pow_ratio > 1.4
+
+    def test_perturbation_validation(self, frontier):
+        """Fig. 14: perturbed designs are Pareto-dominated by the frontier."""
+        perturbed, all_dominated = perturb_and_validate(frontier)
+        assert len(perturbed) > 0
+        assert all_dominated
+
+
+class TestDse:
+    def test_exhaustive_flow_estimate(self):
+        """Sec. 7.3: ~90k designs x 1.5 h ~= 15 years."""
+        years = exhaustive_flow_years()
+        assert years == pytest.approx(15.4, abs=0.5)
+
+    def test_metrics(self):
+        metrics = design_space_metrics()
+        assert metrics.num_designs == 90_000
+        assert metrics.generator_seconds < 3.0
+        assert metrics.speed_ratio > 1e6
