@@ -8,34 +8,51 @@ The full on-vehicle story of Fig. 1:
      2-bit saturating counter, memoized clock-gated configurations —
      and compare energy with and without it.
 
+Everything flows through the execution engine, so a second invocation
+replays the cached artifacts instead of recomputing them.
+
 Run: python examples/drone_euroc.py
+Set REPRO_EXAMPLE_DURATION to shorten the sequence (e.g. smoke tests).
 """
+
+import os
 
 import numpy as np
 
-from repro.data import make_euroc_sequence
-from repro.runtime import IterationTable, RuntimeController, build_reconfiguration_table
-from repro.slam import EstimatorConfig, SlidingWindowEstimator, absolute_trajectory_error
-from repro.synth import high_perf_design
+from repro.engine import (
+    ESTIMATOR,
+    EstimatorRequest,
+    PolicySpec,
+    REPLAY,
+    ReplayRequest,
+    SEQUENCE,
+    get_engine,
+    named_design,
+    sequence_config,
+)
+from repro.slam import EstimatorConfig, absolute_trajectory_error
 
 
 def main() -> None:
-    sequence = make_euroc_sequence("MH_03", duration=12.0)
+    duration = float(os.environ.get("REPRO_EXAMPLE_DURATION", "12.0"))
+    engine = get_engine()
+    config = sequence_config("euroc", "MH_03", duration)
+    sequence = engine.run(SEQUENCE, config)
     print(f"sequence MH_03: {sequence.num_keyframes} keyframes, "
           f"{len(sequence.landmarks)} landmarks")
 
     # The static accelerator design.
-    design = high_perf_design()
+    design = named_design("High-Perf", engine)
     print(f"accelerator: nd={design.config.nd} nm={design.config.nm} "
           f"s={design.config.s} @ {design.power_w:.2f} W")
 
     # Run the estimator with the run-time iteration policy installed.
-    reconfig = build_reconfiguration_table(design.config, design.spec)
-    controller = RuntimeController(table=IterationTable(), reconfig=reconfig)
-    estimator = SlidingWindowEstimator(
-        EstimatorConfig(window_size=8, iteration_policy=controller.iteration_policy)
+    request = EstimatorRequest(
+        sequence=config,
+        estimator=EstimatorConfig(window_size=8),
+        policy=PolicySpec(design="High-Perf"),
     )
-    run = estimator.run(sequence)
+    run = engine.run(ESTIMATOR, request)
 
     ate = absolute_trajectory_error(
         np.array(run.estimated_positions), np.array(run.true_positions)
@@ -45,18 +62,17 @@ def main() -> None:
           f"max {max(run.feature_counts)}")
 
     # Replay the workload through the controller for energy accounting.
-    accounting = RuntimeController(table=IterationTable(), reconfig=reconfig)
-    for window in run.windows:
-        accounting.process_window(window.stats)
+    replay = engine.run(REPLAY, ReplayRequest(run=request, design="High-Perf"))
     print(f"\nrun-time optimization:")
-    print(f"  static energy  : {accounting.total_static_energy_j * 1e3:.1f} mJ")
-    print(f"  dynamic energy : {accounting.total_energy_j * 1e3:.1f} mJ")
-    print(f"  saving         : {100 * accounting.energy_saving:.1f}%")
-    print(f"  reconfigurations: {accounting.num_reconfigurations} "
+    print(f"  static energy  : {replay.total_static_energy_j * 1e3:.1f} mJ")
+    print(f"  dynamic energy : {replay.total_energy_j * 1e3:.1f} mJ")
+    print(f"  saving         : {100 * replay.energy_saving:.1f}%")
+    print(f"  reconfigurations: {replay.num_reconfigurations} "
           f"(host passes 3 numbers to the FPGA each time)")
-    iterations = [d.applied_iterations for d in accounting.decisions]
+    iterations = [d.applied_iterations for d in replay.decisions]
     print(f"  iteration counts: mean {np.mean(iterations):.1f}, "
           f"histogram {np.bincount(iterations, minlength=7)[1:].tolist()}")
+    print(f"\n{engine.stats_line()}")
 
 
 if __name__ == "__main__":

@@ -4,11 +4,18 @@ Lets expensive sequences be generated once and shared between
 experiment runs or exported for external tools. Everything needed to
 reproduce the run is stored — configuration, ground truth, observations,
 IMU streams, landmarks — in a single compressed archive.
+
+The array-level codec (:func:`sequence_to_arrays` /
+:func:`sequence_from_arrays`) is exposed separately from the file I/O so
+other storage layers — notably the artifact cache of
+:mod:`repro.engine` — can embed a sequence inside their own blobs
+without a second format.
 """
 
 from __future__ import annotations
 
 import json
+from collections.abc import Mapping
 from dataclasses import asdict
 from pathlib import Path
 
@@ -25,9 +32,8 @@ from repro.imu.noise import ImuNoise
 _FORMAT_VERSION = 1
 
 
-def save_sequence(sequence: Sequence, path: str | Path) -> Path:
-    """Write a sequence to a compressed ``.npz`` archive."""
-    path = Path(path)
+def sequence_to_arrays(sequence: Sequence) -> dict[str, np.ndarray]:
+    """Encode a sequence as a flat ``{name: array}`` mapping."""
     config = sequence.config
     meta = {
         "version": _FORMAT_VERSION,
@@ -73,7 +79,73 @@ def save_sequence(sequence: Sequence, path: str | Path) -> Path:
             pix = np.zeros((0, 2))
         arrays[f"obs_{i}_ids"] = ids
         arrays[f"obs_{i}_px"] = pix
-    np.savez_compressed(path, **arrays)
+    return arrays
+
+
+def sequence_from_arrays(data: Mapping[str, np.ndarray]) -> Sequence:
+    """Decode a sequence from the mapping produced by
+    :func:`sequence_to_arrays` (or an open ``.npz`` archive)."""
+    meta = json.loads(bytes(np.asarray(data["meta_json"])).decode())
+    if meta.get("version") != _FORMAT_VERSION:
+        raise DataError(
+            f"unsupported sequence format version {meta.get('version')!r}"
+        )
+    raw = dict(meta["config"])
+    config = SequenceConfig(
+        **{
+            k: v
+            for k, v in raw.items()
+            if k not in ("camera", "imu_noise", "tracker")
+        },
+        camera=PinholeCamera(**raw["camera"]),
+        imu_noise=ImuNoise(**raw["imu_noise"]),
+        tracker=TrackerConfig(**raw["tracker"]),
+    )
+    timestamps = data["timestamps"]
+    states = []
+    for row in data["true_states"]:
+        states.append(
+            NavState(
+                pose=SE3(row[3:12].reshape(3, 3), row[0:3]),
+                velocity=row[12:15],
+                bias_gyro=row[15:18],
+                bias_accel=row[18:21],
+            )
+        )
+    segments = []
+    for i in range(len(timestamps) - 1):
+        segments.append(
+            ImuSegment(
+                timestamps=data[f"imu_{i}_t"],
+                gyro=data[f"imu_{i}_g"],
+                accel=data[f"imu_{i}_a"],
+                dt=float(data[f"imu_{i}_dt"][0]),
+            )
+        )
+    observations = []
+    for i in range(len(timestamps)):
+        ids = data[f"obs_{i}_ids"]
+        pix = data[f"obs_{i}_px"]
+        frame = FrameObservations(i)
+        for fid, pixel in zip(ids, pix):
+            frame.pixels[int(fid)] = np.asarray(pixel, dtype=float)
+        observations.append(frame)
+    return Sequence(
+        config=config,
+        timestamps=timestamps,
+        true_states=states,
+        observations=observations,
+        imu_segments=segments,
+        landmarks=data["landmarks"],
+        true_bias_gyro=data["true_bias_gyro"],
+        true_bias_accel=data["true_bias_accel"],
+    )
+
+
+def save_sequence(sequence: Sequence, path: str | Path) -> Path:
+    """Write a sequence to a compressed ``.npz`` archive."""
+    path = Path(path)
+    np.savez_compressed(path, **sequence_to_arrays(sequence))
     return path
 
 
@@ -81,58 +153,4 @@ def load_sequence(path: str | Path) -> Sequence:
     """Load a sequence written by :func:`save_sequence`."""
     path = Path(path)
     with np.load(path) as data:
-        meta = json.loads(bytes(data["meta_json"]).decode())
-        if meta.get("version") != _FORMAT_VERSION:
-            raise DataError(
-                f"unsupported sequence format version {meta.get('version')!r}"
-            )
-        raw = dict(meta["config"])
-        config = SequenceConfig(
-            **{
-                k: v
-                for k, v in raw.items()
-                if k not in ("camera", "imu_noise", "tracker")
-            },
-            camera=PinholeCamera(**raw["camera"]),
-            imu_noise=ImuNoise(**raw["imu_noise"]),
-            tracker=TrackerConfig(**raw["tracker"]),
-        )
-        timestamps = data["timestamps"]
-        states = []
-        for row in data["true_states"]:
-            states.append(
-                NavState(
-                    pose=SE3(row[3:12].reshape(3, 3), row[0:3]),
-                    velocity=row[12:15],
-                    bias_gyro=row[15:18],
-                    bias_accel=row[18:21],
-                )
-            )
-        segments = []
-        for i in range(len(timestamps) - 1):
-            segments.append(
-                ImuSegment(
-                    timestamps=data[f"imu_{i}_t"],
-                    gyro=data[f"imu_{i}_g"],
-                    accel=data[f"imu_{i}_a"],
-                    dt=float(data[f"imu_{i}_dt"][0]),
-                )
-            )
-        observations = []
-        for i in range(len(timestamps)):
-            ids = data[f"obs_{i}_ids"]
-            pix = data[f"obs_{i}_px"]
-            frame = FrameObservations(i)
-            for fid, pixel in zip(ids, pix):
-                frame.pixels[int(fid)] = np.asarray(pixel, dtype=float)
-            observations.append(frame)
-        return Sequence(
-            config=config,
-            timestamps=timestamps,
-            true_states=states,
-            observations=observations,
-            imu_segments=segments,
-            landmarks=data["landmarks"],
-            true_bias_gyro=data["true_bias_gyro"],
-            true_bias_accel=data["true_bias_accel"],
-        )
+        return sequence_from_arrays(data)

@@ -1,0 +1,74 @@
+"""The artifact/stage execution engine.
+
+Every expensive computation in the reproduction — sequence synthesis,
+estimator runs, hardware co-simulation, synthesis solves, runtime
+replays — is a typed :class:`~repro.engine.stage.Stage` keyed by the
+content of its configuration. The :class:`~repro.engine.engine.Engine`
+memoizes stage products in process, persists them in a
+content-addressed cache under ``.repro_cache/``, and runs independent
+work in parallel. See ``docs/engine.md`` for the cache layout and
+invalidation rules.
+
+Typical use::
+
+    from repro.engine import ESTIMATOR, EstimatorRequest, get_engine
+    from repro.engine.stages import sequence_config
+
+    run = get_engine().run(
+        ESTIMATOR, EstimatorRequest(sequence=sequence_config("euroc", "MH_01", 14.0))
+    )
+"""
+
+from repro.engine.engine import (
+    Artifact,
+    DEFAULT_CACHE_DIR,
+    Engine,
+    configure,
+    get_engine,
+)
+from repro.engine.cache import ArtifactCache, CacheStats
+from repro.engine.keys import artifact_key, config_token
+from repro.engine.stage import Stage
+from repro.engine.stages import (
+    ESTIMATOR,
+    REPLAY,
+    SEQUENCE,
+    SYNTHESIS,
+    TRACE,
+    EstimatorRequest,
+    PolicySpec,
+    ReplayRequest,
+    SequenceStage,
+    SynthesisStage,
+    TraceRequest,
+    design_reconfiguration,
+    named_design,
+    sequence_config,
+)
+
+__all__ = [
+    "Artifact",
+    "ArtifactCache",
+    "CacheStats",
+    "DEFAULT_CACHE_DIR",
+    "Engine",
+    "Stage",
+    "artifact_key",
+    "config_token",
+    "configure",
+    "get_engine",
+    "SEQUENCE",
+    "ESTIMATOR",
+    "TRACE",
+    "SYNTHESIS",
+    "REPLAY",
+    "EstimatorRequest",
+    "PolicySpec",
+    "ReplayRequest",
+    "SequenceStage",
+    "SynthesisStage",
+    "TraceRequest",
+    "design_reconfiguration",
+    "named_design",
+    "sequence_config",
+]

@@ -1,0 +1,269 @@
+"""Array-level codecs for stage payloads.
+
+Each codec turns a payload into ``(arrays, meta)`` — a flat mapping of
+numpy arrays plus a small JSON-safe metadata dict — and back. The cache
+stores both in a single ``.npz`` blob (see :mod:`repro.engine.cache`),
+mirroring the format :mod:`repro.data.io` established for sequences.
+
+The round-trip contract is *bit-identity*: every float travels through
+float64 arrays (never JSON), so a decoded payload feeds the experiments
+the exact numbers the fresh computation would have.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.stats import WindowStats
+from repro.hw.config import HardwareConfig
+from repro.hw.fpga import FpgaPlatform
+from repro.hw.sim.trace import TraceSimulation
+from repro.runtime.controller import ReplayResult, WindowDecision
+from repro.slam.estimator import RunResult, WindowResult
+from repro.synth.spec import DesignSpec, Objective
+from repro.synth.synthesizer import SynthesisResult
+
+
+def _int_array(values) -> np.ndarray:
+    return np.asarray(list(values), dtype=np.int64)
+
+
+def _float_array(values) -> np.ndarray:
+    return np.asarray(list(values), dtype=np.float64)
+
+
+# ----------------------------------------------------------------------
+# RunResult
+# ----------------------------------------------------------------------
+
+def encode_run_result(run: RunResult) -> tuple[dict[str, np.ndarray], dict]:
+    windows = run.windows
+    frame_ids = [w.frame_ids for w in windows]
+    positions = (
+        np.stack(run.estimated_positions)
+        if run.estimated_positions
+        else np.zeros((0, 3))
+    )
+    true_positions = (
+        np.stack(run.true_positions) if run.true_positions else np.zeros((0, 3))
+    )
+    arrays = {
+        "window_index": _int_array(w.window_index for w in windows),
+        "iterations": _int_array(w.iterations for w in windows),
+        "accepted_steps": _int_array(w.accepted_steps for w in windows),
+        "initial_cost": _float_array(w.initial_cost for w in windows),
+        "final_cost": _float_array(w.final_cost for w in windows),
+        "newest_position_error": _float_array(
+            w.newest_position_error for w in windows
+        ),
+        "relative_error": _float_array(w.relative_error for w in windows),
+        "stats_num_features": _int_array(w.stats.num_features for w in windows),
+        "stats_avg_observations": _float_array(
+            w.stats.avg_observations for w in windows
+        ),
+        "stats_num_keyframes": _int_array(w.stats.num_keyframes for w in windows),
+        "stats_num_marginalized": _int_array(
+            w.stats.num_marginalized for w in windows
+        ),
+        "stats_state_size": _int_array(w.stats.state_size for w in windows),
+        "stats_num_observations": _int_array(
+            w.stats.num_observations for w in windows
+        ),
+        "frame_ids_flat": _int_array(
+            fid for window_ids in frame_ids for fid in window_ids
+        ),
+        "frame_ids_len": _int_array(len(window_ids) for window_ids in frame_ids),
+        "estimated_positions": positions,
+        "true_positions": true_positions,
+        "feature_counts": _int_array(run.feature_counts),
+        "iterations_used": _int_array(run.iterations_used),
+    }
+    return arrays, {}
+
+
+def decode_run_result(arrays, meta) -> RunResult:
+    del meta
+    run = RunResult()
+    offsets = np.cumsum(np.concatenate([[0], arrays["frame_ids_len"]]))
+    flat = arrays["frame_ids_flat"]
+    for i in range(len(arrays["window_index"])):
+        stats = WindowStats(
+            num_features=int(arrays["stats_num_features"][i]),
+            avg_observations=float(arrays["stats_avg_observations"][i]),
+            num_keyframes=int(arrays["stats_num_keyframes"][i]),
+            num_marginalized=int(arrays["stats_num_marginalized"][i]),
+            state_size=int(arrays["stats_state_size"][i]),
+            num_observations=int(arrays["stats_num_observations"][i]),
+        )
+        run.windows.append(
+            WindowResult(
+                window_index=int(arrays["window_index"][i]),
+                frame_ids=[int(f) for f in flat[offsets[i]:offsets[i + 1]]],
+                stats=stats,
+                iterations=int(arrays["iterations"][i]),
+                accepted_steps=int(arrays["accepted_steps"][i]),
+                initial_cost=float(arrays["initial_cost"][i]),
+                final_cost=float(arrays["final_cost"][i]),
+                newest_position_error=float(arrays["newest_position_error"][i]),
+                relative_error=float(arrays["relative_error"][i]),
+            )
+        )
+    run.estimated_positions = [row.copy() for row in arrays["estimated_positions"]]
+    run.true_positions = [row.copy() for row in arrays["true_positions"]]
+    run.feature_counts = [int(v) for v in arrays["feature_counts"]]
+    run.iterations_used = [int(v) for v in arrays["iterations_used"]]
+    return run
+
+
+# ----------------------------------------------------------------------
+# TraceSimulation
+# ----------------------------------------------------------------------
+
+def encode_trace(trace: TraceSimulation) -> tuple[dict[str, np.ndarray], dict]:
+    arrays = {
+        "seconds": _float_array(trace.seconds),
+        "energies_j": _float_array(trace.energies_j),
+        "simulated_cycles": _float_array(trace.simulated_cycles),
+        "analytical_cycles": _float_array(trace.analytical_cycles),
+    }
+    return arrays, {}
+
+
+def decode_trace(arrays, meta) -> TraceSimulation:
+    del meta
+    return TraceSimulation(
+        seconds=[float(v) for v in arrays["seconds"]],
+        energies_j=[float(v) for v in arrays["energies_j"]],
+        simulated_cycles=[float(v) for v in arrays["simulated_cycles"]],
+        analytical_cycles=[float(v) for v in arrays["analytical_cycles"]],
+    )
+
+
+# ----------------------------------------------------------------------
+# ReplayResult (runtime controller)
+# ----------------------------------------------------------------------
+
+def encode_replay(replay: ReplayResult) -> tuple[dict[str, np.ndarray], dict]:
+    decisions = replay.decisions
+    arrays = {
+        "feature_count": _int_array(d.feature_count for d in decisions),
+        "proposed_iterations": _int_array(d.proposed_iterations for d in decisions),
+        "applied_iterations": _int_array(d.applied_iterations for d in decisions),
+        "config_nd": _int_array(d.config.nd for d in decisions),
+        "config_nm": _int_array(d.config.nm for d in decisions),
+        "config_s": _int_array(d.config.s for d in decisions),
+        "reconfigured": _int_array(int(d.reconfigured) for d in decisions),
+        "energy_j": _float_array(d.energy_j for d in decisions),
+        "static_energy_j": _float_array(d.static_energy_j for d in decisions),
+        "gated_iter": _int_array(sorted(replay.gated_power_by_iter)),
+        "gated_power": _float_array(
+            replay.gated_power_by_iter[i] for i in sorted(replay.gated_power_by_iter)
+        ),
+    }
+    return arrays, {}
+
+
+def decode_replay(arrays, meta) -> ReplayResult:
+    del meta
+    decisions = tuple(
+        WindowDecision(
+            feature_count=int(arrays["feature_count"][i]),
+            proposed_iterations=int(arrays["proposed_iterations"][i]),
+            applied_iterations=int(arrays["applied_iterations"][i]),
+            config=HardwareConfig(
+                nd=int(arrays["config_nd"][i]),
+                nm=int(arrays["config_nm"][i]),
+                s=int(arrays["config_s"][i]),
+            ),
+            reconfigured=bool(arrays["reconfigured"][i]),
+            energy_j=float(arrays["energy_j"][i]),
+            static_energy_j=float(arrays["static_energy_j"][i]),
+        )
+        for i in range(len(arrays["feature_count"]))
+    )
+    gated = {
+        int(it): float(power)
+        for it, power in zip(arrays["gated_iter"], arrays["gated_power"])
+    }
+    return ReplayResult(decisions=decisions, gated_power_by_iter=gated)
+
+
+# ----------------------------------------------------------------------
+# SynthesisResult
+# ----------------------------------------------------------------------
+
+def encode_synthesis(result: SynthesisResult) -> tuple[dict[str, np.ndarray], dict]:
+    spec = result.spec
+    platform = spec.platform
+    workload = spec.workload
+    arrays = {
+        "knobs": _int_array(result.config.as_tuple()),
+        "latency_s": _float_array([result.latency_s]),
+        "power_w": _float_array([result.power_w]),
+        "solve_seconds": _float_array([result.solve_seconds]),
+        "evaluated_points": _int_array([result.evaluated_points]),
+        "utilization": _float_array(
+            result.utilization[k] for k in sorted(result.utilization)
+        ),
+        "spec_scalars": _float_array(
+            [spec.latency_budget_s, spec.resource_budget, spec.iterations]
+        ),
+        "platform_scalars": _float_array(
+            [platform.lut, platform.ff, platform.bram, platform.dsp,
+             platform.frequency_hz]
+        ),
+        "workload_scalars": _float_array(
+            [workload.num_features, workload.avg_observations,
+             workload.num_keyframes, workload.num_marginalized,
+             workload.state_size, workload.num_observations]
+        ),
+    }
+    meta = {
+        "utilization_keys": sorted(result.utilization),
+        "objective": spec.objective.value,
+        "platform_name": platform.name,
+    }
+    return arrays, meta
+
+
+def decode_synthesis(arrays, meta) -> SynthesisResult:
+    nd, nm, s = (int(v) for v in arrays["knobs"])
+    p = arrays["platform_scalars"]
+    platform = FpgaPlatform(
+        name=str(meta["platform_name"]),
+        lut=int(p[0]),
+        ff=int(p[1]),
+        bram=float(p[2]),
+        dsp=int(p[3]),
+        frequency_hz=float(p[4]),
+    )
+    w = arrays["workload_scalars"]
+    workload = WindowStats(
+        num_features=int(w[0]),
+        avg_observations=float(w[1]),
+        num_keyframes=int(w[2]),
+        num_marginalized=int(w[3]),
+        state_size=int(w[4]),
+        num_observations=int(w[5]),
+    )
+    spec_scalars = arrays["spec_scalars"]
+    spec = DesignSpec(
+        latency_budget_s=float(spec_scalars[0]),
+        platform=platform,
+        resource_budget=float(spec_scalars[1]),
+        workload=workload,
+        iterations=int(spec_scalars[2]),
+        objective=Objective(str(meta["objective"])),
+    )
+    return SynthesisResult(
+        config=HardwareConfig(nd=nd, nm=nm, s=s),
+        spec=spec,
+        latency_s=float(arrays["latency_s"][0]),
+        power_w=float(arrays["power_w"][0]),
+        utilization={
+            key: float(value)
+            for key, value in zip(meta["utilization_keys"], arrays["utilization"])
+        },
+        solve_seconds=float(arrays["solve_seconds"][0]),
+        evaluated_points=int(arrays["evaluated_points"][0]),
+    )

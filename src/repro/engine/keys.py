@@ -1,0 +1,80 @@
+"""Content-addressed artifact keys.
+
+Every cacheable stage invocation is identified by a key derived from the
+stage name, the stage's code-version tag, and a canonical token of the
+configuration object. Any change to any configuration field — however
+deep (nested dataclasses, enums, numpy arrays) — changes the token and
+therefore the key, which is what makes the on-disk cache safe to reuse
+across processes: a key either means exactly one computation or it does
+not exist.
+
+Callables are deliberately unhashable here. Stateful hooks such as
+``EstimatorConfig.iteration_policy`` cannot be content-addressed, so the
+engine requires them to be expressed declaratively (see
+:class:`repro.engine.stages.PolicySpec`) and raises otherwise.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+from typing import Any
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+# Global schema tag: bump when the key derivation itself changes.
+KEY_SCHEMA_VERSION = "1"
+
+
+def config_token(obj: Any) -> Any:
+    """Reduce ``obj`` to a canonical JSON-serializable token.
+
+    Dataclasses carry their qualified type name so two config classes
+    with identical fields cannot alias each other's cache entries.
+    """
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, float):
+        # repr round-trips float64 exactly; json.dumps uses it.
+        return obj
+    if isinstance(obj, enum.Enum):
+        return {"__enum__": f"{type(obj).__module__}.{type(obj).__qualname__}",
+                "value": config_token(obj.value)}
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        token = {"__type__": f"{type(obj).__module__}.{type(obj).__qualname__}"}
+        for field in dataclasses.fields(obj):
+            token[field.name] = config_token(getattr(obj, field.name))
+        return token
+    if isinstance(obj, np.ndarray):
+        digest = hashlib.sha256(np.ascontiguousarray(obj).tobytes()).hexdigest()
+        return {"__ndarray__": digest, "dtype": str(obj.dtype), "shape": list(obj.shape)}
+    if isinstance(obj, np.generic):
+        return config_token(obj.item())
+    if isinstance(obj, (list, tuple)):
+        return [config_token(item) for item in obj]
+    if isinstance(obj, dict):
+        return {str(key): config_token(value) for key, value in sorted(obj.items())}
+    if callable(obj):
+        raise ConfigurationError(
+            f"cannot derive a cache key from callable {obj!r}; express runtime "
+            "hooks declaratively (e.g. repro.engine.stages.PolicySpec) instead"
+        )
+    raise ConfigurationError(
+        f"cannot derive a cache key from {type(obj).__name__!r} value {obj!r}"
+    )
+
+
+def artifact_key(stage_name: str, stage_version: str, config: Any) -> str:
+    """The content-addressed key of one stage invocation (hex sha256)."""
+    payload = {
+        "schema": KEY_SCHEMA_VERSION,
+        "stage": stage_name,
+        "version": stage_version,
+        "config": config_token(config),
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()

@@ -1,0 +1,41 @@
+"""The Stage abstraction: a named, versioned, cacheable computation.
+
+A stage maps a frozen configuration dataclass to a payload. The engine
+(:mod:`repro.engine.engine`) addresses the result by the content key of
+``(stage.name, stage.version, config)`` and persists it through the
+stage's codec hooks. ``version`` is the stage's *code-version tag*:
+bump it whenever the stage's computation changes meaning, and every
+previously cached artifact of that stage is invalidated at once.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+
+class Stage:
+    """Base class for typed pipeline stages."""
+
+    #: Unique stage name; also the cache subdirectory.
+    name: str = "stage"
+    #: Code-version tag; part of every artifact key and blob.
+    version: str = "1"
+
+    def compute(self, config: Any, engine) -> Any:
+        """Produce the payload for ``config``.
+
+        ``engine`` is passed so a stage can pull its upstream artifacts
+        through the same cache (e.g. the trace stage pulling the
+        estimator run it replays).
+        """
+        raise NotImplementedError
+
+    def encode(self, payload: Any) -> tuple[dict[str, np.ndarray], dict]:
+        """Payload -> (arrays, json-safe meta) for the disk cache."""
+        raise NotImplementedError
+
+    def decode(self, arrays: dict[str, np.ndarray], meta: dict) -> Any:
+        """Inverse of :meth:`encode`; must be bit-exact for numerics."""
+        raise NotImplementedError

@@ -8,6 +8,18 @@ regenerates and shape-checks every one.
 """
 
 from repro.experiments.common import ExperimentResult, format_table
-from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    available_experiments,
+    run_experiment,
+    run_experiments,
+)
 
-__all__ = ["ExperimentResult", "format_table", "EXPERIMENTS", "run_experiment"]
+__all__ = [
+    "ExperimentResult",
+    "format_table",
+    "EXPERIMENTS",
+    "available_experiments",
+    "run_experiment",
+    "run_experiments",
+]

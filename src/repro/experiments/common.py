@@ -1,14 +1,30 @@
-"""Shared experiment infrastructure: result containers, run caching,
-and table formatting."""
+"""Shared experiment infrastructure: result containers, engine-backed
+run access, and table formatting.
+
+All heavy artifacts (sequences, estimator runs, runtime replays) flow
+through the :mod:`repro.engine` execution engine, so repeated experiment
+and benchmark invocations hit the in-process memo or the on-disk
+artifact cache instead of re-running the estimator.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from functools import lru_cache
 
-from repro.data.sequences import make_euroc_sequence, make_kitti_sequence
+from repro.data.sequences import Sequence
 from repro.data.stats import WindowStats
-from repro.slam.estimator import EstimatorConfig, RunResult, SlidingWindowEstimator
+from repro.engine import (
+    ESTIMATOR,
+    REPLAY,
+    SEQUENCE,
+    EstimatorRequest,
+    PolicySpec,
+    ReplayRequest,
+    get_engine,
+    sequence_config,
+)
+from repro.runtime.controller import ReplayResult
+from repro.slam.estimator import EstimatorConfig, RunResult
 from repro.slam.nls import LMConfig
 
 # Trace lengths used by the experiments: long enough for stable
@@ -62,33 +78,57 @@ def format_table(columns: list[str], rows: list[list]) -> str:
     return "\n".join(lines)
 
 
-@lru_cache(maxsize=8)
-def cached_sequence(kind: str, name: str, duration: float):
-    """Deterministic sequences, built once per process."""
-    if kind == "euroc":
-        return make_euroc_sequence(name, duration=duration)
-    if kind == "kitti":
-        return make_kitti_sequence(name, duration=duration)
-    raise ValueError(f"unknown dataset kind {kind!r}")
+def estimator_request(
+    kind: str,
+    name: str,
+    duration: float,
+    window_size: int = 8,
+    iteration_cap: int = 6,
+    policy: PolicySpec | None = None,
+) -> EstimatorRequest:
+    """The engine request for one of the harness's standard runs."""
+    return EstimatorRequest(
+        sequence=sequence_config(kind, name, duration),
+        estimator=EstimatorConfig(
+            window_size=window_size,
+            lm=LMConfig(max_iterations=iteration_cap),
+        ),
+        policy=policy,
+    )
 
 
-@lru_cache(maxsize=32)
-def cached_run(
+def get_sequence(kind: str, name: str, duration: float) -> Sequence:
+    """Deterministic catalog sequence, via the engine cache."""
+    return get_engine().run(SEQUENCE, sequence_config(kind, name, duration))
+
+
+def get_run(
     kind: str,
     name: str,
     duration: float,
     window_size: int = 8,
     iteration_cap: int = 6,
 ) -> RunResult:
-    """Estimator runs, cached per process (they dominate wall clock)."""
-    sequence = cached_sequence(kind, name, duration)
-    estimator = SlidingWindowEstimator(
-        EstimatorConfig(
-            window_size=window_size,
-            lm=LMConfig(max_iterations=iteration_cap),
-        )
+    """Static-cap estimator run, via the engine cache (these dominate
+    the harness's wall clock)."""
+    return get_engine().run(
+        ESTIMATOR, estimator_request(kind, name, duration, window_size, iteration_cap)
     )
-    return estimator.run(sequence)
+
+
+def get_dynamic_run(
+    kind: str, name: str, duration: float, design_name: str
+) -> tuple[RunResult, ReplayResult]:
+    """Estimator run with the run-time iteration policy installed, plus
+    the controller replay for the energy bookkeeping (identical
+    decisions: same feature counts, same table)."""
+    engine = get_engine()
+    request = estimator_request(
+        kind, name, duration, policy=PolicySpec(design=design_name)
+    )
+    run = engine.run(ESTIMATOR, request)
+    replay = engine.run(REPLAY, ReplayRequest(run=request, design=design_name))
+    return run, replay
 
 
 def run_window_stats(run: RunResult) -> list[WindowStats]:

@@ -14,10 +14,9 @@ import numpy as np
 from repro.experiments.common import (
     ExperimentResult,
     KITTI_DURATION_S,
-    cached_sequence,
+    get_sequence,
 )
 from repro.runtime import (
-    IterationTable,
     build_iteration_table,
     profile_accuracy_vs_iterations,
     train_iteration_policy,
@@ -26,7 +25,7 @@ from repro.runtime import (
 
 def run_ext_learned_policy(trace: str = "00") -> ExperimentResult:
     """Lookup table vs learned regressor on the same profiling data."""
-    sequence = cached_sequence("kitti", trace, KITTI_DURATION_S)
+    sequence = get_sequence("kitti", trace, KITTI_DURATION_S)
     profile = profile_accuracy_vs_iterations(sequence)
     table = build_iteration_table(
         profile, bucket_edges=(25, 45, 70, 110, 180)
@@ -125,7 +124,7 @@ def run_ext_wordlength() -> ExperimentResult:
     from repro.hw.fixedpoint import wordlength_study
     from repro.slam.estimator import EstimatorConfig, SlidingWindowEstimator
 
-    sequence = cached_sequence("kitti", "00", KITTI_DURATION_S)
+    sequence = get_sequence("kitti", "00", KITTI_DURATION_S)
     captured = []
 
     def probe(problem, frame_id):
@@ -159,10 +158,10 @@ def run_ext_wordlength() -> ExperimentResult:
 
 def run_ext_realtime_margin() -> ExperimentResult:
     """Real-time margin: worst-case window latency vs the keyframe period
-    for the two named designs over actual traces (trace co-simulation)."""
-    from repro.experiments.common import cached_run
-    from repro.hw.sim.trace import simulate_trace
-    from repro.synth import high_perf_design, low_power_design
+    for the two named designs over actual traces (trace co-simulation,
+    cached per design/trace by the engine's trace stage)."""
+    from repro.engine import TRACE, TraceRequest, get_engine, named_design
+    from repro.experiments.common import estimator_request
 
     result = ExperimentResult(
         experiment_id="ext-realtime",
@@ -170,16 +169,20 @@ def run_ext_realtime_margin() -> ExperimentResult:
         columns=["design", "trace", "mean_ms", "worst_ms", "margin_x"],
     )
     period_s = 0.200
-    for name, design in (
-        ("High-Perf", high_perf_design()),
-        ("Low-Power", low_power_design()),
-    ):
+    engine = get_engine()
+    for name in ("High-Perf", "Low-Power"):
+        design = named_design(name, engine)
         for kind, trace_name, duration in (
             ("euroc", "MH_01", 14.0),
             ("kitti", "00", KITTI_DURATION_S),
         ):
-            run = cached_run(kind, trace_name, duration)
-            trace = simulate_trace(run, design.config)
+            trace = engine.run(
+                TRACE,
+                TraceRequest(
+                    run=estimator_request(kind, trace_name, duration),
+                    hardware=design.config,
+                ),
+            )
             mean_s = trace.total_seconds / max(len(trace.seconds), 1)
             result.rows.append(
                 [
@@ -214,7 +217,7 @@ def run_ext_window_size() -> ExperimentResult:
         absolute_trajectory_error,
     )
 
-    sequence = cached_sequence("euroc", "MH_03", 10.0)
+    sequence = get_sequence("euroc", "MH_03", 10.0)
     result = ExperimentResult(
         experiment_id="ext-window-size",
         title="Window size b: accuracy vs hardware cost",

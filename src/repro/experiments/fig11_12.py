@@ -13,15 +13,15 @@ import numpy as np
 from repro.experiments.common import (
     ExperimentResult,
     KITTI_DURATION_S,
-    cached_run,
-    cached_sequence,
+    get_run,
+    get_sequence,
 )
 from repro.slam.metrics import rmse
 
 
 def run_fig11(trace: str = "00") -> ExperimentResult:
     """Per-window feature count vs relative error (Fig. 11's two series)."""
-    run = cached_run("kitti", trace, KITTI_DURATION_S)
+    run = get_run("kitti", trace, KITTI_DURATION_S)
     result = ExperimentResult(
         experiment_id="fig11",
         title="Fewer feature points -> higher relative error (KITTI trace)",
@@ -51,7 +51,7 @@ def run_fig12(trace: str = "00", caps: tuple[int, ...] = (1, 2, 3, 4, 6)) -> Exp
     """
     from repro.runtime.profiler import profile_accuracy_vs_iterations
 
-    sequence = cached_sequence("kitti", trace, KITTI_DURATION_S)
+    sequence = get_sequence("kitti", trace, KITTI_DURATION_S)
     profile = profile_accuracy_vs_iterations(sequence, iteration_caps=caps)
     result = ExperimentResult(
         experiment_id="fig12",

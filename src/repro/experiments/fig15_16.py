@@ -18,10 +18,11 @@ from repro.experiments.common import (
     ExperimentResult,
     KITTI_DURATION_S,
     KITTI_TRACES,
-    cached_run,
+    get_run,
+    run_window_stats,
 )
-from repro.hw import DEFAULT_POWER_MODEL, window_latency_seconds
-from repro.synth import SynthesisResult, high_perf_design, low_power_design, pareto_frontier
+from repro.hw import window_latency_seconds
+from repro.synth import high_perf_design, low_power_design, pareto_frontier
 
 
 def _trace_ratios(design_config, design_power, stats_list, iterations=6):
@@ -42,11 +43,11 @@ def _trace_ratios(design_config, design_power, stats_list, iterations=6):
 def _all_trace_stats():
     traces = []
     for name in EUROC_TRACES:
-        run = cached_run("euroc", name, EUROC_DURATION_S)
-        traces.append((f"EuRoC {name}", [w.stats for w in run.windows]))
+        run = get_run("euroc", name, EUROC_DURATION_S)
+        traces.append((f"EuRoC {name}", run_window_stats(run)))
     for name in KITTI_TRACES:
-        run = cached_run("kitti", name, KITTI_DURATION_S)
-        traces.append((f"KITTI {name}", [w.stats for w in run.windows]))
+        run = get_run("kitti", name, KITTI_DURATION_S)
+        traces.append((f"KITTI {name}", run_window_stats(run)))
     return traces
 
 
@@ -54,8 +55,8 @@ def run_fig15() -> ExperimentResult:
     """Speedup and energy reduction of the Pareto designs on one KITTI
     trace (Fig. 15's scatter)."""
     frontier = pareto_frontier()
-    run = cached_run("kitti", KITTI_TRACES[0], KITTI_DURATION_S)
-    stats_list = [w.stats for w in run.windows]
+    run = get_run("kitti", KITTI_TRACES[0], KITTI_DURATION_S)
+    stats_list = run_window_stats(run)
     result = ExperimentResult(
         experiment_id="fig15",
         title="Pareto designs: speedup vs energy reduction (KITTI trace)",

@@ -53,10 +53,41 @@ EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
 }
 
 
+def available_experiments() -> list[str]:
+    """All registered experiment ids, sorted."""
+    return sorted(EXPERIMENTS)
+
+
 def run_experiment(experiment_id: str) -> ExperimentResult:
     """Run one registered experiment by id."""
     if experiment_id not in EXPERIMENTS:
-        raise ConfigurationError(
-            f"unknown experiment {experiment_id!r}; choose from {sorted(EXPERIMENTS)}"
+        import difflib
+
+        close = difflib.get_close_matches(
+            experiment_id, EXPERIMENTS, n=3, cutoff=0.4
         )
+        hint = (
+            f"; did you mean {' or '.join(repr(c) for c in close)}?"
+            if close
+            else f"; choose from {available_experiments()}"
+        )
+        raise ConfigurationError(f"unknown experiment {experiment_id!r}{hint}")
     return EXPERIMENTS[experiment_id]()
+
+
+def run_experiments(
+    experiment_ids: list[str], engine=None
+) -> list[ExperimentResult]:
+    """Run several experiments, in parallel when the engine has workers.
+
+    Unknown ids are rejected up front (before any work is spent), and
+    results come back in the requested order regardless of worker count.
+    """
+    for experiment_id in experiment_ids:
+        if experiment_id not in EXPERIMENTS:
+            run_experiment(experiment_id)  # raises with suggestions
+    if engine is None:
+        from repro.engine import get_engine
+
+        engine = get_engine()
+    return engine.parallel(run_experiment, experiment_ids)

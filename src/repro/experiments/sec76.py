@@ -2,16 +2,17 @@
 
 For each trace we run the estimator twice: once with the static
 iteration cap of 6 and once with the run-time controller's iteration
-policy (feature-count lookup + 2-bit saturating counter). The
-controller's memoized reconfiguration table then gives per-window gated
+policy (feature-count lookup + 2-bit saturating counter). Both runs and
+the controller replay flow through the execution engine
+(:mod:`repro.engine`), so the estimator work is computed once per
+configuration and shared across sec76/sec76b and repeated invocations.
+The replay's memoized reconfiguration table gives per-window gated
 energy, compared against the static design running its full
 provisioning. Accuracy is compared as mean translational error in cm,
 the unit the paper reports.
 """
 
 from __future__ import annotations
-
-from functools import lru_cache
 
 import numpy as np
 
@@ -22,47 +23,9 @@ from repro.experiments.common import (
     ExperimentResult,
     KITTI_DURATION_S,
     KITTI_TRACES,
-    cached_run,
-    cached_sequence,
+    get_dynamic_run,
+    get_run,
 )
-from repro.runtime import (
-    IterationTable,
-    RuntimeController,
-    build_reconfiguration_table,
-)
-from repro.slam.estimator import EstimatorConfig, SlidingWindowEstimator
-from repro.slam.nls import LMConfig
-from repro.synth import SynthesisResult, high_perf_design, low_power_design
-
-
-@lru_cache(maxsize=4)
-def _controller_parts(design_name: str):
-    design = {"High-Perf": high_perf_design, "Low-Power": low_power_design}[
-        design_name
-    ]()
-    reconfig = build_reconfiguration_table(design.config, design.spec)
-    return design, reconfig
-
-
-def _dynamic_run(kind: str, name: str, duration: float, design_name: str):
-    """Estimator run with the run-time iteration policy installed."""
-    design, reconfig = _controller_parts(design_name)
-    controller = RuntimeController(table=IterationTable(), reconfig=reconfig)
-    sequence = cached_sequence(kind, name, duration)
-    estimator = SlidingWindowEstimator(
-        EstimatorConfig(
-            window_size=8,
-            lm=LMConfig(max_iterations=6),
-            iteration_policy=controller.iteration_policy,
-        )
-    )
-    run = estimator.run(sequence)
-    # Replay the workload through a fresh controller for the energy
-    # bookkeeping (identical decisions: same feature counts, same table).
-    accounting = RuntimeController(table=IterationTable(), reconfig=reconfig)
-    for window in run.windows:
-        accounting.process_window(window.stats)
-    return run, accounting
 
 
 def run_sec76(design_name: str = "High-Perf") -> ExperimentResult:
@@ -83,8 +46,8 @@ def run_sec76(design_name: str = "High-Perf") -> ExperimentResult:
     traces = [("euroc", n, EUROC_DURATION_S) for n in EUROC_TRACES]
     traces += [("kitti", n, KITTI_DURATION_S) for n in KITTI_TRACES]
     for kind, name, duration in traces:
-        static_run = cached_run(kind, name, duration)
-        dynamic_run, accounting = _dynamic_run(kind, name, duration, design_name)
+        static_run = get_run(kind, name, duration)
+        dynamic_run, replay = get_dynamic_run(kind, name, duration, design_name)
         static_err = 100 * float(
             np.mean([w.newest_position_error for w in static_run.windows[5:]])
         )
@@ -94,12 +57,12 @@ def run_sec76(design_name: str = "High-Perf") -> ExperimentResult:
         result.rows.append(
             [
                 f"{kind}:{name}",
-                100 * accounting.energy_saving,
+                100 * replay.energy_saving,
                 static_err,
                 dynamic_err,
                 dynamic_err - static_err,
-                accounting.num_reconfigurations,
-                float(np.mean([d.applied_iterations for d in accounting.decisions])),
+                replay.num_reconfigurations,
+                float(np.mean([d.applied_iterations for d in replay.decisions])),
             ]
         )
     savings = result.column("energy_saving_pct")
@@ -132,18 +95,17 @@ def run_sec76_combined() -> ExperimentResult:
     traces = [("euroc", n, EUROC_DURATION_S) for n in EUROC_TRACES]
     traces += [("kitti", n, KITTI_DURATION_S) for n in KITTI_TRACES]
     for design_name in ("High-Perf", "Low-Power"):
-        design, reconfig = _controller_parts(design_name)
         speedups = {"intel": [], "arm": []}
         energies = {"intel": [], "arm": []}
         for kind, name, duration in traces:
-            run, accounting = _dynamic_run(kind, name, duration, design_name)
-            for window, decision in zip(run.windows, accounting.decisions):
+            run, replay = get_dynamic_run(kind, name, duration, design_name)
+            for window, decision in zip(run.windows, replay.decisions):
                 stats = window.stats
                 if stats.num_features < 5:
                     continue
                 iters = decision.applied_iterations
                 t_acc = window_latency_seconds(stats, decision.config, iters)
-                e_acc = t_acc * accounting.reconfig.gated_power(iters)
+                e_acc = t_acc * replay.gated_power(iters)
                 for tag, platform in (("intel", INTEL_COMET_LAKE), ("arm", ARM_A57)):
                     t_cpu = platform.window_time(stats, iters)
                     speedups[tag].append(t_cpu / t_acc)

@@ -50,6 +50,38 @@ class TraceSimulation:
         return float(np.mean(np.abs(sim - model) / model))
 
 
+def simulate_windows(
+    workloads,
+    config: HardwareConfig,
+    platform: FpgaPlatform = ZC706,
+    seed: int = 0,
+) -> TraceSimulation:
+    """Replay a series of per-window workloads on a design.
+
+    ``workloads`` is an iterable of ``(WindowStats, iterations)`` pairs —
+    the stage-level interface the execution engine drives
+    (:class:`repro.engine.stages.TraceStage`). Windows with no features
+    are skipped but still advance the per-window seed, so a trace keeps
+    its draws regardless of how many warm-up windows precede it.
+    """
+    sim = AcceleratorSim(config, platform)
+    trace = TraceSimulation()
+    for index, (stats, iterations) in enumerate(workloads):
+        if stats.num_features < 1:
+            continue
+        iterations = max(iterations, 1)
+        execution = sim.run_window(
+            stats, iterations=iterations, seed=seed + index
+        )
+        trace.seconds.append(execution.seconds)
+        trace.energies_j.append(execution.energy_j)
+        trace.simulated_cycles.append(execution.total_cycles)
+        trace.analytical_cycles.append(
+            window_latency_cycles(stats, config, iterations)
+        )
+    return trace
+
+
 def simulate_trace(
     run,
     config: HardwareConfig,
@@ -62,20 +94,9 @@ def simulate_trace(
     (the run-time system's decisions therefore flow straight into the
     hardware timing) and a seeded per-window observation-count draw.
     """
-    sim = AcceleratorSim(config, platform)
-    trace = TraceSimulation()
-    for index, window in enumerate(run.windows):
-        stats = window.stats
-        if stats.num_features < 1:
-            continue
-        iterations = max(window.iterations, 1)
-        execution = sim.run_window(
-            stats, iterations=iterations, seed=seed + index
-        )
-        trace.seconds.append(execution.seconds)
-        trace.energies_j.append(execution.energy_j)
-        trace.simulated_cycles.append(execution.total_cycles)
-        trace.analytical_cycles.append(
-            window_latency_cycles(stats, config, iterations)
-        )
-    return trace
+    return simulate_windows(
+        [(window.stats, window.iterations) for window in run.windows],
+        config,
+        platform=platform,
+        seed=seed,
+    )

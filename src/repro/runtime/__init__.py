@@ -13,7 +13,12 @@ zero run-time overhead.
 from repro.runtime.profiler import IterationTable, build_iteration_table, profile_accuracy_vs_iterations
 from repro.runtime.counter import TwoBitSaturatingCounter
 from repro.runtime.reconfig import ReconfigurationTable, build_reconfiguration_table
-from repro.runtime.controller import RuntimeController, WindowDecision
+from repro.runtime.controller import (
+    ReplayResult,
+    RuntimeController,
+    WindowDecision,
+    replay_windows,
+)
 from repro.runtime.learned import LearnedIterationPolicy, train_iteration_policy
 
 __all__ = [
@@ -23,8 +28,10 @@ __all__ = [
     "TwoBitSaturatingCounter",
     "ReconfigurationTable",
     "build_reconfiguration_table",
+    "ReplayResult",
     "RuntimeController",
     "WindowDecision",
+    "replay_windows",
     "LearnedIterationPolicy",
     "train_iteration_policy",
 ]

@@ -103,3 +103,68 @@ class RuntimeController:
     @property
     def num_reconfigurations(self) -> int:
         return sum(1 for d in self.decisions if d.reconfigured)
+
+
+@dataclass(frozen=True)
+class ReplayResult:
+    """The serializable outcome of replaying a run through the controller.
+
+    This is the controller's stage-level product: everything the Sec. 7.6
+    experiments read — per-window decisions, the per-Iter gated power of
+    the design's reconfiguration table, and the derived energy totals —
+    without holding on to the live controller (whose table of
+    :class:`~repro.hw.config.HardwareConfig` solves is rebuilt offline).
+    """
+
+    decisions: tuple[WindowDecision, ...]
+    gated_power_by_iter: dict[int, float]
+
+    def gated_power(self, iterations: int) -> float:
+        capped = max(1, min(iterations, max(self.gated_power_by_iter)))
+        return self.gated_power_by_iter[capped]
+
+    @property
+    def total_energy_j(self) -> float:
+        return sum(d.energy_j for d in self.decisions)
+
+    @property
+    def total_static_energy_j(self) -> float:
+        return sum(d.static_energy_j for d in self.decisions)
+
+    @property
+    def energy_saving(self) -> float:
+        """Fractional energy saved vs the static design (Sec. 7.6)."""
+        static = self.total_static_energy_j
+        return 1.0 - self.total_energy_j / static if static > 0 else 0.0
+
+    @property
+    def num_reconfigurations(self) -> int:
+        return sum(1 for d in self.decisions if d.reconfigured)
+
+
+def replay_windows(
+    stats_list: list[WindowStats],
+    table: IterationTable,
+    reconfig: ReconfigurationTable,
+    platform: FpgaPlatform = ZC706,
+    power_model: PowerModel = DEFAULT_POWER_MODEL,
+) -> ReplayResult:
+    """Replay per-window workload statistics through a fresh controller.
+
+    This is the stage adapter the execution engine (and the examples)
+    use instead of hand-rolling the process-every-window loop: a fresh
+    controller sees the same feature counts the live run saw, so its
+    decisions — and therefore the energy bookkeeping — are identical.
+    """
+    controller = RuntimeController(
+        table=table, reconfig=reconfig, platform=platform, power_model=power_model
+    )
+    for stats in stats_list:
+        controller.process_window(stats)
+    gated = {
+        iterations: reconfig.gated_power(iterations)
+        for iterations in range(1, max(reconfig.powers) + 1)
+    }
+    return ReplayResult(
+        decisions=tuple(controller.decisions), gated_power_by_iter=gated
+    )

@@ -3,15 +3,25 @@
 import numpy as np
 import pytest
 
-from repro.data import make_euroc_sequence
-from repro.data.io import load_sequence, save_sequence
+from repro.data import make_euroc_sequence, make_kitti_sequence
+from repro.data.io import (
+    load_sequence,
+    save_sequence,
+    sequence_from_arrays,
+    sequence_to_arrays,
+)
 from repro.errors import DataError
 
 
-@pytest.fixture(scope="module")
-def round_trip(tmp_path_factory):
-    sequence = make_euroc_sequence("MH_02", duration=3.0)
-    path = tmp_path_factory.mktemp("seq") / "mh02.npz"
+@pytest.fixture(
+    scope="module", params=["euroc", "kitti"], ids=["euroc-MH_02", "kitti-00"]
+)
+def round_trip(request, tmp_path_factory):
+    if request.param == "euroc":
+        sequence = make_euroc_sequence("MH_02", duration=3.0)
+    else:
+        sequence = make_kitti_sequence("00", duration=3.0)
+    path = tmp_path_factory.mktemp("seq") / f"{request.param}.npz"
     save_sequence(sequence, path)
     return sequence, load_sequence(path), path
 
@@ -71,3 +81,25 @@ class TestSerialization:
         np.savez_compressed(path, **arrays)
         with pytest.raises(DataError):
             load_sequence(path)
+
+    def test_in_memory_arrays_round_trip(self):
+        """The engine's sequence codec path: arrays without touching disk."""
+        sequence = make_kitti_sequence("05", duration=2.0)
+        arrays = sequence_to_arrays(sequence)
+        assert all(isinstance(v, np.ndarray) for v in arrays.values())
+        restored = sequence_from_arrays(arrays)
+        assert restored.config == sequence.config
+        assert np.array_equal(restored.timestamps, sequence.timestamps)
+
+    def test_arrays_version_mismatch_rejected(self):
+        import json
+
+        sequence = make_euroc_sequence("MH_01", duration=1.0)
+        arrays = dict(sequence_to_arrays(sequence))
+        meta = json.loads(bytes(np.asarray(arrays["meta_json"])).decode())
+        meta["version"] = 999
+        arrays["meta_json"] = np.frombuffer(
+            json.dumps(meta).encode(), dtype=np.uint8
+        )
+        with pytest.raises(DataError):
+            sequence_from_arrays(arrays)

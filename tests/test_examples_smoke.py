@@ -1,0 +1,44 @@
+"""Smoke test: every example script runs headless and exits cleanly.
+
+Each example is executed as a real subprocess (the way a reader would
+run it), with REPRO_EXAMPLE_DURATION shortened so the estimator-driven
+ones stay quick, and the engine cache pointed at a throwaway directory
+so runs never leak state into the repo.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+EXAMPLES = sorted((REPO_ROOT / "examples").glob("*.py"))
+
+
+def test_examples_discovered():
+    assert len(EXAMPLES) >= 5
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs_clean(script, tmp_path):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    env["REPRO_EXAMPLE_DURATION"] = "3.0"
+    env["REPRO_CACHE_DIR"] = str(tmp_path / "cache")
+    env["MPLBACKEND"] = "Agg"  # headless, should any example ever plot
+    completed = subprocess.run(
+        [sys.executable, str(script)],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, (
+        f"{script.name} failed:\n{completed.stdout}\n{completed.stderr}"
+    )
+    assert completed.stdout.strip(), f"{script.name} printed nothing"
