@@ -1,0 +1,253 @@
+#!/usr/bin/env python
+"""Estimator hot-loop benchmark: batched vs loop linearization backends.
+
+Builds a fig11-scale synthetic window (~200 features over 10 keyframes by
+default), times ``WindowProblem.build_linear_system()`` and
+``WindowProblem.cost()`` under both backends, runs a full LM solve for
+the per-stage breakdown, and writes ``BENCH_estimator.json``.
+
+Usage (from the repo root)::
+
+    PYTHONPATH=src python benchmarks/perf/bench_estimator.py
+    PYTHONPATH=src python benchmarks/perf/bench_estimator.py \
+        --features 48 --keyframes 6 --repeats 3 --output /tmp/bench.json
+
+The ``combined_speedup`` field is the acceptance number: loop over
+batched on the summed build + cost time per window.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.geometry.camera import PinholeCamera
+from repro.geometry.navstate import NavState
+from repro.geometry.se3 import SE3
+from repro.imu.preintegration import ImuPreintegration
+from repro.slam.nls import LMConfig, levenberg_marquardt
+from repro.slam.problem import WindowProblem
+from repro.slam.residuals import ImuFactor, VisualFactor, make_pose_anchor_prior
+
+
+def make_window_problem(
+    num_features: int,
+    num_keyframes: int,
+    seed: int = 0,
+    backend: str = "batched",
+    huber_delta: float | None = 2.0,
+) -> WindowProblem:
+    """A fig11-scale synthetic window: forward motion past a feature field.
+
+    Every feature is anchored at the earliest keyframe that sees it and
+    observed from the later keyframes it stays visible in, mirroring the
+    factor-graph shape the sliding-window estimator produces.
+    """
+    rng = np.random.default_rng(seed)
+    camera = PinholeCamera()
+    speed = 1.2  # m/s forward
+    dt_kf = 0.2
+
+    states: dict[int, NavState] = {}
+    for k in range(num_keyframes):
+        true_position = np.array([speed * dt_kf * k, 0.0, 0.0])
+        noise = rng.normal(scale=0.01, size=3) if k else np.zeros(3)
+        states[k] = NavState(
+            pose=SE3(np.eye(3), true_position + noise),
+            velocity=np.array([speed, 0.0, 0.0]),
+        )
+
+    factors: list[VisualFactor] = []
+    inv_depths: dict[int, float] = {}
+    pixel_sigma = 1.0
+    weight = 1.0 / (pixel_sigma * pixel_sigma)
+    for fid in range(num_features):
+        anchor = int(rng.integers(0, num_keyframes - 1))
+        bearing = np.array(
+            [rng.uniform(-0.5, 0.5), rng.uniform(-0.35, 0.35), 1.0]
+        )
+        depth = rng.uniform(4.0, 20.0)
+        anchor_pose = SE3(np.eye(3), np.array([speed * dt_kf * anchor, 0.0, 0.0]))
+        point_w = anchor_pose.transform(bearing * depth)
+        observed = 0
+        for target in range(anchor + 1, num_keyframes):
+            target_pose = SE3(
+                np.eye(3), np.array([speed * dt_kf * target, 0.0, 0.0])
+            )
+            if not camera.is_visible(target_pose, point_w):
+                continue
+            pixel = camera.project(target_pose, point_w) + rng.normal(
+                scale=pixel_sigma, size=2
+            )
+            factors.append(
+                VisualFactor(fid, anchor, target, bearing, pixel, weight=weight)
+            )
+            observed += 1
+        if observed:
+            inv_depths[fid] = float(1.0 / depth * rng.uniform(0.85, 1.18))
+
+    factors = [f for f in factors if f.feature_id in inv_depths]
+
+    imu_factors = []
+    for k in range(1, num_keyframes):
+        pre = ImuPreintegration()
+        for _ in range(int(dt_kf / 0.005)):
+            pre.integrate(
+                np.zeros(3), np.array([0.0, 0.0, 9.81]), 0.005, 1e-3, 1e-2
+            )
+        imu_factors.append(ImuFactor(k - 1, k, pre))
+
+    return WindowProblem(
+        camera=camera,
+        states=states,
+        inv_depths=inv_depths,
+        visual_factors=factors,
+        imu_factors=imu_factors,
+        priors=[make_pose_anchor_prior(0, states[0])],
+        huber_delta=huber_delta,
+        backend=backend,
+    )
+
+
+def _time_calls(fn, repeats: int, warmup: int = 1) -> float:
+    """Best-of-``repeats`` wall-clock seconds for one call of ``fn``."""
+    for _ in range(warmup):
+        fn()
+    best = float("inf")
+    for _ in range(repeats):
+        tic = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - tic)
+    return best
+
+
+def bench_backend(
+    backend: str, num_features: int, num_keyframes: int, repeats: int, seed: int
+) -> dict:
+    """Measure one backend on the synthetic window."""
+    problem = make_window_problem(
+        num_features, num_keyframes, seed=seed, backend=backend
+    )
+    build_s = _time_calls(problem.build_linear_system, repeats)
+    cost_s = _time_calls(problem.cost, repeats)
+    system = problem.build_linear_system()
+
+    # Per-stage breakdown of a full LM solve from the same start point.
+    fresh = make_window_problem(
+        num_features, num_keyframes, seed=seed, backend=backend
+    )
+    lm = levenberg_marquardt(fresh, LMConfig(max_iterations=6))
+    stage_ms = {
+        key.replace("_s", "_ms"): value * 1e3
+        for key, value in lm.timings.as_dict().items()
+    }
+    combined = build_s + cost_s
+    return {
+        "backend": backend,
+        "build_linear_system_ms": build_s * 1e3,
+        "cost_ms": cost_s * 1e3,
+        "combined_ms": combined * 1e3,
+        "windows_per_sec": 1.0 / combined if combined > 0 else 0.0,
+        "build_split_ms": {
+            "linearize_ms": system.linearize_seconds * 1e3,
+            "assemble_ms": system.assemble_seconds * 1e3,
+        },
+        "lm_solve": {
+            "iterations": lm.iterations,
+            "accepted_steps": lm.accepted_steps,
+            "final_cost": lm.final_cost,
+            "stage_ms": stage_ms,
+        },
+    }
+
+
+def run_benchmark(
+    num_features: int = 200,
+    num_keyframes: int = 10,
+    repeats: int = 5,
+    seed: int = 0,
+) -> dict:
+    probe = make_window_problem(num_features, num_keyframes, seed=seed)
+    results = {
+        backend: bench_backend(backend, num_features, num_keyframes, repeats, seed)
+        for backend in ("loop", "batched")
+    }
+    combined_speedup = (
+        results["loop"]["combined_ms"] / results["batched"]["combined_ms"]
+        if results["batched"]["combined_ms"] > 0
+        else float("inf")
+    )
+    return {
+        "benchmark": "estimator-hot-loop",
+        "workload": {
+            "num_features": len(probe.inv_depths),
+            "num_keyframes": num_keyframes,
+            "num_observations": len(probe.visual_factors),
+            "requested_features": num_features,
+            "repeats": repeats,
+            "seed": seed,
+        },
+        "backends": results,
+        "combined_speedup": combined_speedup,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--features", type=int, default=200)
+    parser.add_argument("--keyframes", type=int, default=10)
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=Path("BENCH_estimator.json"),
+        help="where to write the JSON report",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        help="exit non-zero if the combined speedup falls below this",
+    )
+    args = parser.parse_args()
+
+    report = run_benchmark(
+        num_features=args.features,
+        num_keyframes=args.keyframes,
+        repeats=args.repeats,
+        seed=args.seed,
+    )
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+
+    loop = report["backends"]["loop"]
+    batched = report["backends"]["batched"]
+    print(
+        f"workload: {report['workload']['num_features']} features, "
+        f"{report['workload']['num_keyframes']} keyframes, "
+        f"{report['workload']['num_observations']} observations"
+    )
+    for name, entry in (("loop", loop), ("batched", batched)):
+        print(
+            f"  {name:8s} build {entry['build_linear_system_ms']:8.2f} ms  "
+            f"cost {entry['cost_ms']:7.2f} ms  "
+            f"-> {entry['windows_per_sec']:8.1f} windows/s"
+        )
+    print(f"combined speedup (loop / batched): {report['combined_speedup']:.1f}x")
+    print(f"report written to {args.output}")
+
+    if args.min_speedup is not None and report["combined_speedup"] < args.min_speedup:
+        print(
+            f"FAIL: speedup {report['combined_speedup']:.2f}x "
+            f"< required {args.min_speedup:.2f}x"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -19,6 +19,7 @@ from repro.hw.config import HardwareConfig
 from repro.hw.fpga import FpgaPlatform
 from repro.hw.sim.trace import TraceSimulation
 from repro.runtime.controller import ReplayResult, WindowDecision
+from repro.runtime.profiler import StageTimings
 from repro.slam.estimator import RunResult, WindowResult
 from repro.synth.spec import DesignSpec, Objective
 from repro.synth.synthesizer import SynthesisResult
@@ -57,6 +58,10 @@ def encode_run_result(run: RunResult) -> tuple[dict[str, np.ndarray], dict]:
             w.newest_position_error for w in windows
         ),
         "relative_error": _float_array(w.relative_error for w in windows),
+        "timing_linearize": _float_array(w.timings.linearize_s for w in windows),
+        "timing_assemble": _float_array(w.timings.assemble_s for w in windows),
+        "timing_solve": _float_array(w.timings.solve_s for w in windows),
+        "timing_update": _float_array(w.timings.update_s for w in windows),
         "stats_num_features": _int_array(w.stats.num_features for w in windows),
         "stats_avg_observations": _float_array(
             w.stats.avg_observations for w in windows
@@ -106,6 +111,12 @@ def decode_run_result(arrays, meta) -> RunResult:
                 final_cost=float(arrays["final_cost"][i]),
                 newest_position_error=float(arrays["newest_position_error"][i]),
                 relative_error=float(arrays["relative_error"][i]),
+                timings=StageTimings(
+                    linearize_s=float(arrays["timing_linearize"][i]),
+                    assemble_s=float(arrays["timing_assemble"][i]),
+                    solve_s=float(arrays["timing_solve"][i]),
+                    update_s=float(arrays["timing_update"][i]),
+                ),
             )
         )
     run.estimated_positions = [row.copy() for row in arrays["estimated_positions"]]

@@ -175,7 +175,10 @@ class SequenceStage(Stage):
 
 class EstimatorStage(Stage):
     name = "estimator-run"
-    version = "1"
+    # v2: batched linearization backend (PR 2) — numerics differ from the
+    # loop backend at rounding level and RunResult carries stage timings,
+    # so loop-era artifacts must not be silently reused.
+    version = "2"
 
     def compute(self, config: EstimatorRequest, engine):
         sequence = engine.run(SEQUENCE, config.sequence)
@@ -197,7 +200,8 @@ class EstimatorStage(Stage):
 
 class TraceStage(Stage):
     name = "trace-cosim"
-    version = "1"
+    # v2: consumes estimator-run v2 outputs (batched backend numerics).
+    version = "2"
 
     def compute(self, config: TraceRequest, engine):
         run = engine.run(ESTIMATOR, config.run)
@@ -247,7 +251,8 @@ class SynthesisStage(Stage):
 
 class ReplayStage(Stage):
     name = "runtime-replay"
-    version = "1"
+    # v2: consumes estimator-run v2 outputs (batched backend numerics).
+    version = "2"
 
     def compute(self, config: ReplayRequest, engine):
         run = engine.run(ESTIMATOR, config.run)

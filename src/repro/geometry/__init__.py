@@ -9,6 +9,7 @@ Equ. 2 in the paper and its analytic Jacobians, which the Visual Jacobian
 
 from repro.geometry.so3 import (
     hat,
+    hat_batch,
     vee,
     so3_exp,
     so3_log,
@@ -20,12 +21,13 @@ from repro.geometry.so3 import (
     right_jacobian,
     right_jacobian_inverse,
 )
-from repro.geometry.se3 import SE3
+from repro.geometry.se3 import SE3, transform_points_batch, transform_to_body_batch
 from repro.geometry.navstate import NavState, STATE_DIM
 from repro.geometry.camera import PinholeCamera
 
 __all__ = [
     "hat",
+    "hat_batch",
     "vee",
     "so3_exp",
     "so3_log",
@@ -37,6 +39,8 @@ __all__ = [
     "right_jacobian",
     "right_jacobian_inverse",
     "SE3",
+    "transform_points_batch",
+    "transform_to_body_batch",
     "NavState",
     "STATE_DIM",
     "PinholeCamera",

@@ -15,7 +15,7 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.geometry.se3 import SE3
-from repro.geometry.so3 import hat
+from repro.geometry.so3 import hat, hat_batch
 
 
 @dataclass(frozen=True)
@@ -110,3 +110,65 @@ class PinholeCamera:
         d_uv_d_pose = d_uv_d_pc @ d_pc_d_pose
         d_uv_d_point = d_uv_d_pc @ rot_t
         return point_c, d_uv_d_pose, d_uv_d_point
+
+    # ------------------------------------------------------------------
+    # Batched (structure-of-arrays) kernels
+    # ------------------------------------------------------------------
+
+    def project_camera_points_batch(self, points_c: np.ndarray) -> np.ndarray:
+        """Project camera-frame points ``(n, 3)`` to pixels ``(n, 2)``.
+
+        Unlike :meth:`project_camera_point` this never raises: rows at or
+        behind ``min_depth`` still produce (meaningless) numbers — callers
+        are expected to cull them through the validity mask returned by
+        :meth:`projection_jacobians_batch`. The depth is clamped away from
+        zero only to keep the division well defined on culled rows.
+        """
+        points_c = np.asarray(points_c, dtype=float).reshape(-1, 3)
+        z = np.where(np.abs(points_c[:, 2]) > 1e-30, points_c[:, 2], 1e-30)
+        out = np.empty((points_c.shape[0], 2))
+        out[:, 0] = self.fx * points_c[:, 0] / z + self.cx
+        out[:, 1] = self.fy * points_c[:, 1] / z + self.cy
+        return out
+
+    def projection_jacobians_batch(
+        self, rotations: np.ndarray, points_c: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorized :meth:`projection_jacobians` over ``n`` observations.
+
+        Args:
+            rotations: ``(n, 3, 3)`` target-pose rotations (body -> world).
+            points_c: ``(n, 3)`` the already-transformed camera-frame
+                points (``R^T (p_w - t)``; see
+                :func:`repro.geometry.se3.transform_to_body_batch`).
+
+        Returns:
+            ``(valid, d_uv_d_pose, d_uv_d_point)`` where ``valid`` is the
+            ``(n,)`` boolean in-front-of-camera mask (``z >= min_depth``),
+            ``d_uv_d_pose`` is ``(n, 2, 6)`` and ``d_uv_d_point`` is
+            ``(n, 2, 3)``. Rows failing the mask hold finite garbage and
+            must be discarded by the caller — this is the boolean-mask
+            form of the per-factor early ``continue``.
+        """
+        rotations = np.asarray(rotations, dtype=float).reshape(-1, 3, 3)
+        points_c = np.asarray(points_c, dtype=float).reshape(-1, 3)
+        n = points_c.shape[0]
+        x, y, z = points_c[:, 0], points_c[:, 1], points_c[:, 2]
+        valid = z >= self.min_depth
+        safe_z = np.where(np.abs(z) > 1e-30, z, 1e-30)
+        inv_z = 1.0 / safe_z
+        inv_z2 = inv_z * inv_z
+        d_uv_d_pc = np.zeros((n, 2, 3))
+        d_uv_d_pc[:, 0, 0] = self.fx * inv_z
+        d_uv_d_pc[:, 0, 2] = -self.fx * x * inv_z2
+        d_uv_d_pc[:, 1, 1] = self.fy * inv_z
+        d_uv_d_pc[:, 1, 2] = -self.fy * y * inv_z2
+        # d pc / d pose = [-R^T | hat(pc)], assembled blockwise.
+        # d_uv_d_pc @ R^T: contract over pc with R^T[j, k] = R[k, j].
+        d_uv_d_point = np.einsum("nij,nkj->nik", d_uv_d_pc, rotations)
+        d_uv_d_pose = np.empty((n, 2, 6))
+        d_uv_d_pose[:, :, 0:3] = -d_uv_d_point
+        d_uv_d_pose[:, :, 3:6] = np.einsum(
+            "nij,njk->nik", d_uv_d_pc, hat_batch(points_c)
+        )
+        return valid, d_uv_d_pose, d_uv_d_point

@@ -92,3 +92,37 @@ class SE3:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"SE3(t={self.translation.round(4).tolist()})"
+
+
+# ----------------------------------------------------------------------
+# Batched point transforms (structure-of-arrays form)
+# ----------------------------------------------------------------------
+#
+# These operate on per-row pose stacks — ``rotations (n, 3, 3)`` and
+# ``translations (n, 3)`` paired with points ``(n, 3)`` — and are the
+# vectorized counterparts of :meth:`SE3.transform` /
+# :meth:`SE3.transform_to_body`. They perform the same elementwise
+# contractions as the scalar methods so the batched estimator backend
+# agrees with the per-factor reference to rounding error.
+
+
+def transform_points_batch(
+    rotations: np.ndarray, translations: np.ndarray, points: np.ndarray
+) -> np.ndarray:
+    """Map body-frame points to the world frame, one pose per row.
+
+    Equivalent to ``[SE3(R_i, t_i).transform(p_i) for i in range(n)]``.
+    """
+    return np.einsum("nij,nj->ni", rotations, points) + translations
+
+
+def transform_to_body_batch(
+    rotations: np.ndarray, translations: np.ndarray, points: np.ndarray
+) -> np.ndarray:
+    """Map world-frame points into the body frame, one pose per row.
+
+    Equivalent to ``[SE3(R_i, t_i).transform_to_body(p_i) for i in
+    range(n)]``: computes ``R_i^T (p_i - t_i)`` without materializing the
+    transposed rotations.
+    """
+    return np.einsum("nji,nj->ni", rotations, points - translations)

@@ -27,6 +27,20 @@ def hat(omega: np.ndarray) -> np.ndarray:
     )
 
 
+def hat_batch(omegas: np.ndarray) -> np.ndarray:
+    """Row-wise :func:`hat`: map ``(n, 3)`` vectors to ``(n, 3, 3)`` skews."""
+    omegas = np.asarray(omegas, dtype=float).reshape(-1, 3)
+    out = np.zeros((omegas.shape[0], 3, 3))
+    wx, wy, wz = omegas[:, 0], omegas[:, 1], omegas[:, 2]
+    out[:, 0, 1] = -wz
+    out[:, 0, 2] = wy
+    out[:, 1, 0] = wz
+    out[:, 1, 2] = -wx
+    out[:, 2, 0] = -wy
+    out[:, 2, 1] = wx
+    return out
+
+
 def vee(matrix: np.ndarray) -> np.ndarray:
     """Inverse of :func:`hat`: extract the 3-vector from a skew matrix."""
     matrix = np.asarray(matrix, dtype=float)

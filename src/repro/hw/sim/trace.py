@@ -42,12 +42,20 @@ class TraceSimulation:
         return float(max(self.seconds)) if self.seconds else 0.0
 
     def model_agreement(self) -> float:
-        """Mean |simulated - analytical| / analytical over the trace."""
+        """Mean |simulated - analytical| / analytical over the trace.
+
+        Windows whose analytical cycle count is zero (degenerate
+        workloads the closed-form model prices at nothing) are excluded
+        rather than allowed to poison the mean with a division by zero.
+        """
         sim = np.asarray(self.simulated_cycles)
         model = np.asarray(self.analytical_cycles)
-        if sim.size == 0:
+        defined = model != 0.0
+        if not defined.any():
             return 0.0
-        return float(np.mean(np.abs(sim - model) / model))
+        return float(
+            np.mean(np.abs(sim[defined] - model[defined]) / model[defined])
+        )
 
 
 def simulate_windows(

@@ -1,4 +1,5 @@
-"""Offline profiling: the feature-count -> Iter lookup table (Sec. 6.2).
+"""Offline profiling: the feature-count -> Iter lookup table (Sec. 6.2),
+plus the per-stage wall-clock breakdown of the software estimator.
 
 The paper's mechanism: profile datasets of interest offline, measure how
 many NLS iterations each feature-count regime needs to sustain the
@@ -6,17 +7,63 @@ target accuracy, and memoize the mapping. Fewer tracked features mean
 less information per window, so more iterations are required to hold
 accuracy (Figs. 11-12); the table is therefore monotone non-increasing
 in the feature count, capped at 6.
+
+:class:`StageTimings` mirrors the accelerator's pipeline phases on the
+software side: linearize (VJac/IJac evaluation), assemble ("Logics to
+Prepare A, b"), solve (D-type Schur + Cholesky + substitutions) and
+update (retract + cost re-evaluation). The NLS solver fills one instance
+per window; :class:`~repro.slam.estimator.RunResult` aggregates them so
+backend speedups are measurable end to end.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.errors import ConfigurationError
 
 MAX_ITERATIONS = 6  # the paper's cap: >6 iterations buys ~no accuracy
+
+
+@dataclass
+class StageTimings:
+    """Wall-clock seconds spent in each estimator pipeline stage.
+
+    Attributes:
+        linearize_s: residual/Jacobian evaluation (VJac + IJac work).
+        assemble_s: scatter-accumulation of the arrow system blocks.
+        solve_s: Schur elimination, Cholesky and back-substitution.
+        update_s: state retraction and cost (re-)evaluation.
+    """
+
+    linearize_s: float = 0.0
+    assemble_s: float = 0.0
+    solve_s: float = 0.0
+    update_s: float = 0.0
+
+    STAGES = ("linearize", "assemble", "solve", "update")
+
+    @property
+    def total_s(self) -> float:
+        return self.linearize_s + self.assemble_s + self.solve_s + self.update_s
+
+    def accumulate(self, other: "StageTimings") -> None:
+        """Fold another breakdown into this one (in place)."""
+        self.linearize_s += other.linearize_s
+        self.assemble_s += other.assemble_s
+        self.solve_s += other.solve_s
+        self.update_s += other.update_s
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "linearize_s": self.linearize_s,
+            "assemble_s": self.assemble_s,
+            "solve_s": self.solve_s,
+            "update_s": self.update_s,
+            "total_s": self.total_s,
+        }
 
 
 @dataclass(frozen=True)
@@ -97,6 +144,8 @@ def perturb_window_problem(problem, rng: np.random.Generator, scale: float = 1.0
         problem.visual_factors,
         problem.imu_factors,
         problem.priors,
+        huber_delta=problem.huber_delta,
+        backend=problem.backend,
     )
 
 

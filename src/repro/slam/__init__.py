@@ -13,6 +13,7 @@ applies.
 """
 
 from repro.slam.problem import WindowProblem, LinearSystem
+from repro.slam.batch import VisualFactorBatch
 from repro.slam.residuals import VisualFactor, ImuFactor, PriorFactor
 from repro.slam.nls import LMConfig, LMResult, levenberg_marquardt
 from repro.slam.marginalization import marginalize_window
@@ -27,6 +28,7 @@ from repro.slam.metrics import (
 __all__ = [
     "WindowProblem",
     "LinearSystem",
+    "VisualFactorBatch",
     "VisualFactor",
     "ImuFactor",
     "PriorFactor",

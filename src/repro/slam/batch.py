@@ -1,0 +1,328 @@
+"""Batched (structure-of-arrays) linearization of the visual factors.
+
+The paper's central observation (Sec. 3.2, Fig. 5) is that the VJac and
+Schur work is embarrassingly data-parallel across feature observations.
+The per-factor reference path in :mod:`repro.slam.problem` evaluates
+thousands of tiny (2x6) matmuls per Gauss-Newton iteration from Python;
+this module evaluates the same quantities for a whole window in a
+handful of einsum/broadcast calls over a structure-of-arrays layout —
+the software analogue of the accelerator's SoA data feed (Sec. 3.3).
+
+Layout: one row per <feature, observation> pair. Static per-window data
+(bearings, pixels, weights, index arrays) lives in
+:class:`VisualFactorBatch` and is gathered once per window; per-iteration
+data (pose stacks, inverse depths) is gathered per call because the
+estimates move every accepted LM step.
+
+Numerical contract: every kernel performs the same elementwise
+contractions in the same per-cell accumulation order as the per-factor
+loop, so the two backends agree to floating-point rounding (the
+equivalence tests in ``tests/test_slam_batch.py`` pin this down).
+Behind-camera culling is a boolean mask instead of an early ``continue``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geometry.camera import PinholeCamera
+from repro.geometry.se3 import transform_points_batch, transform_to_body_batch
+from repro.geometry.so3 import hat_batch
+
+POSE_DOF = 6
+STATE_DIM = 15
+
+
+@dataclass
+class VisualFactorBatch:
+    """All visual factors of one window in structure-of-arrays form.
+
+    Attributes:
+        bearings: ``(n, 3)`` anchor-frame un-normalized rays.
+        pixels: ``(n, 2)`` observed pixels in the target frames.
+        weights: ``(n,)`` measurement information (1 / sigma^2).
+        anchor_index / target_index: ``(n,)`` positions of each factor's
+            anchor / target keyframe in the window's sorted frame list.
+        feature_index: ``(n,)`` position of each factor's feature in the
+            window's sorted feature list.
+        num_frames / num_features: window dimensions the index arrays
+            refer to.
+    """
+
+    bearings: np.ndarray
+    pixels: np.ndarray
+    weights: np.ndarray
+    anchor_index: np.ndarray
+    target_index: np.ndarray
+    feature_index: np.ndarray
+    num_frames: int
+    num_features: int
+
+    @property
+    def num_observations(self) -> int:
+        return int(self.bearings.shape[0])
+
+    @staticmethod
+    def from_factors(
+        factors, frame_index: dict[int, int], feature_index: dict[int, int]
+    ) -> "VisualFactorBatch":
+        """Gather a factor list into SoA arrays (one row per factor)."""
+        n = len(factors)
+        if n == 0:
+            return VisualFactorBatch(
+                bearings=np.zeros((0, 3)),
+                pixels=np.zeros((0, 2)),
+                weights=np.zeros(0),
+                anchor_index=np.zeros(0, dtype=np.int64),
+                target_index=np.zeros(0, dtype=np.int64),
+                feature_index=np.zeros(0, dtype=np.int64),
+                num_frames=len(frame_index),
+                num_features=len(feature_index),
+            )
+        return VisualFactorBatch(
+            bearings=np.stack([f.bearing for f in factors]),
+            pixels=np.stack([f.pixel for f in factors]),
+            weights=np.fromiter((f.weight for f in factors), dtype=float, count=n),
+            anchor_index=np.fromiter(
+                (frame_index[f.anchor] for f in factors), dtype=np.int64, count=n
+            ),
+            target_index=np.fromiter(
+                (frame_index[f.target] for f in factors), dtype=np.int64, count=n
+            ),
+            feature_index=np.fromiter(
+                (feature_index[f.feature_id] for f in factors), dtype=np.int64, count=n
+            ),
+            num_frames=len(frame_index),
+            num_features=len(feature_index),
+        )
+
+
+@dataclass
+class BatchedVisualLinearization:
+    """Vectorized VJac output for a whole window (rows where ``valid``)."""
+
+    valid: np.ndarray  # (n,) in-front-of-camera mask
+    residuals: np.ndarray  # (n, 2)
+    jac_inv_depth: np.ndarray  # (n, 2)
+    jac_pose_anchor: np.ndarray  # (n, 2, 6)
+    jac_pose_target: np.ndarray  # (n, 2, 6)
+    weights: np.ndarray  # (n,) measurement weight * Huber IRLS scale
+
+
+def visual_residuals_batch(
+    camera: PinholeCamera,
+    batch: VisualFactorBatch,
+    rotations: np.ndarray,
+    translations: np.ndarray,
+    inv_depths: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """All reprojection residuals of a window in one shot.
+
+    Args:
+        rotations / translations: ``(b, 3, 3)`` / ``(b, 3)`` pose stacks
+            indexed by the batch's frame index arrays.
+        inv_depths: ``(p,)`` inverse depths indexed by ``feature_index``.
+
+    Returns:
+        ``(valid, residuals)``: the ``(n,)`` behind-camera mask and the
+        ``(n, 2)`` residuals (garbage on invalid rows).
+    """
+    lam = inv_depths[batch.feature_index]
+    point_anchor = batch.bearings / lam[:, None]
+    point_w = transform_points_batch(
+        rotations[batch.anchor_index],
+        translations[batch.anchor_index],
+        point_anchor,
+    )
+    point_c = transform_to_body_batch(
+        rotations[batch.target_index],
+        translations[batch.target_index],
+        point_w,
+    )
+    valid = point_c[:, 2] >= camera.min_depth
+    residuals = camera.project_camera_points_batch(point_c) - batch.pixels
+    return valid, residuals
+
+
+def huber_scales_batch(residuals: np.ndarray, huber_delta: float | None) -> np.ndarray:
+    """IRLS weight multipliers of the Huber kernel, one per row."""
+    n = residuals.shape[0]
+    if huber_delta is None:
+        return np.ones(n)
+    norms = np.sqrt((residuals * residuals).sum(axis=1))
+    beyond = norms > huber_delta
+    return np.where(beyond, huber_delta / np.where(beyond, norms, 1.0), 1.0)
+
+
+def visual_costs_batch(
+    residuals: np.ndarray, weights: np.ndarray, huber_delta: float | None
+) -> np.ndarray:
+    """Per-row quadratic or Huber cost (rows assumed already culled)."""
+    squared = (residuals * residuals).sum(axis=1)
+    if huber_delta is None:
+        return 0.5 * weights * squared
+    norms = np.sqrt(squared)
+    return np.where(
+        norms <= huber_delta,
+        0.5 * weights * squared,
+        weights * huber_delta * (norms - 0.5 * huber_delta),
+    )
+
+
+def linearize_visual_batch(
+    camera: PinholeCamera,
+    batch: VisualFactorBatch,
+    rotations: np.ndarray,
+    translations: np.ndarray,
+    inv_depths: np.ndarray,
+    huber_delta: float | None = None,
+) -> BatchedVisualLinearization:
+    """Vectorized counterpart of :meth:`VisualFactor.linearize` over a window.
+
+    Computes residuals, inverse-depth Jacobians and anchor/target pose
+    Jacobians for every <feature, observation> row, plus the effective
+    IRLS weights. Rows behind the camera are flagged through ``valid``
+    rather than skipped.
+    """
+    lam = inv_depths[batch.feature_index]
+    point_anchor = batch.bearings / lam[:, None]
+    rot_anchor = rotations[batch.anchor_index]
+    point_w = transform_points_batch(
+        rot_anchor, translations[batch.anchor_index], point_anchor
+    )
+    rot_target = rotations[batch.target_index]
+    point_c = transform_to_body_batch(
+        rot_target, translations[batch.target_index], point_w
+    )
+    valid, jac_pose_target, d_uv_d_pw = camera.projection_jacobians_batch(
+        rot_target, point_c
+    )
+    residuals = camera.project_camera_points_batch(point_c) - batch.pixels
+
+    # d p_w / d pose_anchor = [I | -R_h hat(p_h)]; the identity block makes
+    # the first three anchor columns equal d(uv)/d(p_w) itself.
+    n = batch.num_observations
+    jac_pose_anchor = np.empty((n, 2, POSE_DOF))
+    jac_pose_anchor[:, :, 0:3] = d_uv_d_pw
+    jac_pose_anchor[:, :, 3:6] = np.einsum(
+        "nij,njk->nik",
+        d_uv_d_pw,
+        np.einsum("nij,njk->nik", -rot_anchor, hat_batch(point_anchor)),
+    )
+    # d p_h / d lambda = -bearing / lambda^2, rotated into the world frame.
+    d_pw_d_lambda = np.einsum(
+        "nij,nj->ni", rot_anchor, -batch.bearings / (lam * lam)[:, None]
+    )
+    jac_inv_depth = np.einsum("nij,nj->ni", d_uv_d_pw, d_pw_d_lambda)
+
+    weights = batch.weights * huber_scales_batch(residuals, huber_delta)
+    return BatchedVisualLinearization(
+        valid=valid,
+        residuals=residuals,
+        jac_inv_depth=jac_inv_depth,
+        jac_pose_anchor=jac_pose_anchor,
+        jac_pose_target=jac_pose_target,
+        weights=weights,
+    )
+
+
+def _bincount_blocks(
+    indices: np.ndarray, values: np.ndarray, minlength: int
+) -> np.ndarray:
+    """Sum ``values`` rows into ``minlength`` bins keyed by ``indices``.
+
+    ``values`` may be ``(m,)``, ``(m, r)`` or ``(m, r, c)``; the result is
+    ``(minlength, ...)``. ``np.bincount`` accumulates each bin in input
+    row order, which is what keeps the scatter order-identical to the
+    per-factor reference loop.
+    """
+    if values.ndim == 1:
+        return np.bincount(indices, weights=values, minlength=minlength)
+    m = values.shape[0]
+    flat = values.reshape(m, -1)
+    k = flat.shape[1]
+    cell = (indices[:, None] * k + np.arange(k)[None, :]).ravel()
+    out = np.bincount(cell, weights=flat.ravel(), minlength=minlength * k)
+    return out.reshape((minlength,) + values.shape[1:])
+
+
+def accumulate_visual_batch(
+    lin: BatchedVisualLinearization,
+    batch: VisualFactorBatch,
+    u_diag: np.ndarray,
+    w_block: np.ndarray,
+    v_block: np.ndarray,
+    b_x: np.ndarray,
+    b_y: np.ndarray,
+) -> None:
+    """Scatter-accumulate the batched linearization into the arrow system.
+
+    The anchor/target contributions of each row are interleaved before
+    the bincount scatter so every accumulator cell receives its terms in
+    exactly the order the per-factor loop would add them.
+    """
+    mask = lin.valid
+    if not mask.any():
+        return
+    r = lin.residuals[mask]
+    jl = lin.jac_inv_depth[mask]
+    jh = lin.jac_pose_anchor[mask]
+    jt = lin.jac_pose_target[mask]
+    w = lin.weights[mask]
+    fi = batch.feature_index[mask]
+    ai = batch.anchor_index[mask]
+    ti = batch.target_index[mask]
+    n = r.shape[0]
+    p = batch.num_features
+    b = batch.num_frames
+
+    # Landmark diagonal and rhs: one scalar per row.
+    u_diag += _bincount_blocks(fi, w * (jl * jl).sum(axis=1), p)
+    b_x -= _bincount_blocks(fi, w * (jl * r).sum(axis=1), p)
+
+    # Coupling block W: a 6-vector per (frame, feature) cell.
+    wh = w[:, None] * np.einsum("nkj,nk->nj", jh, jl)
+    wt = w[:, None] * np.einsum("nkj,nk->nj", jt, jl)
+    w_vals = np.stack([wh, wt], axis=1).reshape(2 * n, POSE_DOF)
+    w_cells = (np.stack([ai, ti], axis=1) * p + fi[:, None]).reshape(2 * n)
+    w_acc = _bincount_blocks(w_cells, w_vals, b * p).reshape(b, p, POSE_DOF)
+
+    # Keyframe block V: 6x6 blocks on the pose rows/cols of each frame.
+    hh = w[:, None, None] * np.einsum("nki,nkj->nij", jh, jh)
+    tt = w[:, None, None] * np.einsum("nki,nkj->nij", jt, jt)
+    diag_vals = np.stack([hh, tt], axis=1).reshape(2 * n, POSE_DOF, POSE_DOF)
+    diag_idx = np.stack([ai, ti], axis=1).reshape(2 * n)
+    diag_acc = _bincount_blocks(diag_idx, diag_vals, b)
+
+    cross = w[:, None, None] * np.einsum("nki,nkj->nij", jh, jt)
+    cross_vals = np.stack(
+        [cross, cross.transpose(0, 2, 1)], axis=1
+    ).reshape(2 * n, POSE_DOF, POSE_DOF)
+    cross_idx = np.stack([ai * b + ti, ti * b + ai], axis=1).reshape(2 * n)
+    cross_acc = _bincount_blocks(cross_idx, cross_vals, b * b).reshape(
+        b, b, POSE_DOF, POSE_DOF
+    )
+
+    # Keyframe rhs: a 6-vector per frame.
+    gh = w[:, None] * np.einsum("nki,nk->ni", jh, r)
+    gt = w[:, None] * np.einsum("nki,nk->ni", jt, r)
+    by_vals = np.stack([gh, gt], axis=1).reshape(2 * n, POSE_DOF)
+    by_acc = _bincount_blocks(diag_idx, by_vals, b)
+
+    # Place the per-frame accumulators into the (15 b)-dim layout; the
+    # frame count is small (<= window size), so these loops are cheap.
+    touched = np.zeros((b, b), dtype=bool)
+    touched[ai, ti] = True
+    touched[ti, ai] = True
+    for i in range(b):
+        base = STATE_DIM * i
+        pose = slice(base, base + POSE_DOF)
+        w_block[pose, :] += w_acc[i].T
+        v_block[pose, pose] += diag_acc[i]
+        b_y[pose] -= by_acc[i]
+        for j in range(b):
+            if i != j and touched[i, j]:
+                base_j = STATE_DIM * j
+                v_block[pose, base_j : base_j + POSE_DOF] += cross_acc[i, j]

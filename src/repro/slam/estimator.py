@@ -33,6 +33,7 @@ from repro.slam.residuals import (
     VisualFactor,
     make_pose_anchor_prior,
 )
+from repro.runtime.profiler import StageTimings
 from repro.utils.rng import rng_from_seed, split_seed
 
 DEFAULT_INV_DEPTH = 0.2  # 5 m, the fallback when triangulation fails
@@ -64,6 +65,9 @@ class EstimatorConfig:
     iteration_policy: Callable[[int], int] | None = None
     window_probe: Callable[..., None] | None = None
     huber_delta: float | None = None  # robust kernel on visual residuals [px]
+    # Linearization backend for every window problem: "batched" (SoA
+    # kernels, the default) or "loop" (per-factor reference oracle).
+    backend: str = "batched"
     # After each window optimization, permanently drop visual factors
     # whose residual exceeds this many pixels (chi-square-style gating;
     # None disables). Outlier tracks then cannot poison later windows.
@@ -96,6 +100,8 @@ class WindowResult:
     final_cost: float
     newest_position_error: float  # |p_est - p_true| of the newest keyframe
     relative_error: float  # window-relative displacement error
+    # Per-stage wall-clock breakdown of this window's optimization.
+    timings: StageTimings = field(default_factory=StageTimings)
 
 
 @dataclass
@@ -111,6 +117,23 @@ class RunResult:
     @property
     def num_windows(self) -> int:
         return len(self.windows)
+
+    def timing_summary(self) -> dict[str, float]:
+        """Per-stage wall-clock totals (seconds) across all windows.
+
+        Keys: ``linearize_s`` / ``assemble_s`` / ``solve_s`` /
+        ``update_s`` / ``total_s`` — the stage breakdown recorded by the
+        NLS solver, plus ``windows_per_second`` over the summed
+        optimization time (0.0 for an empty run).
+        """
+        total = StageTimings()
+        for window in self.windows:
+            total.accumulate(window.timings)
+        summary = total.as_dict()
+        summary["windows_per_second"] = (
+            len(self.windows) / total.total_s if total.total_s > 0 else 0.0
+        )
+        return summary
 
 
 class SlidingWindowEstimator:
@@ -293,6 +316,7 @@ class SlidingWindowEstimator:
             imu_factors=list(self.imu_factors),
             priors=list(self.priors),
             huber_delta=self.config.huber_delta,
+            backend=self.config.backend,
         )
 
     def _iteration_cap(self, feature_count: int) -> int:
@@ -348,6 +372,7 @@ class SlidingWindowEstimator:
                 final_cost=lm_result.final_cost,
                 newest_position_error=newest_error,
                 relative_error=relative,
+                timings=lm_result.timings,
             )
         )
         result.estimated_positions.append(est_position.copy())

@@ -10,10 +10,12 @@ decreased. The iteration count is externally capped — that cap is the
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 
 import numpy as np
 
 from repro.errors import SolverError
+from repro.runtime.profiler import StageTimings
 from repro.slam.problem import WindowProblem
 from repro.utils.validation import check_positive, check_positive_int
 
@@ -55,6 +57,8 @@ class LMResult:
     accepted_steps: int
     cost_history: list[float] = field(default_factory=list)
     converged: bool = False
+    # Per-stage wall-clock breakdown summed over all iterations.
+    timings: StageTimings = field(default_factory=StageTimings)
 
 
 def levenberg_marquardt(problem: WindowProblem, config: LMConfig | None = None) -> LMResult:
@@ -64,7 +68,10 @@ def levenberg_marquardt(problem: WindowProblem, config: LMConfig | None = None) 
     """
     config = config or LMConfig()
     damping = config.initial_damping
+    timings = StageTimings()
+    tic = perf_counter()
     cost = problem.cost()
+    timings.update_s += perf_counter() - tic
     result = LMResult(
         problem=problem,
         initial_cost=cost,
@@ -72,20 +79,28 @@ def levenberg_marquardt(problem: WindowProblem, config: LMConfig | None = None) 
         iterations=0,
         accepted_steps=0,
         cost_history=[cost],
+        timings=timings,
     )
 
     for _ in range(config.max_iterations):
         system = problem.build_linear_system()
+        timings.linearize_s += system.linearize_seconds
+        timings.assemble_s += system.assemble_seconds
         result.iterations += 1
+        tic = perf_counter()
         try:
             d_lambda, d_state = system.solve(damping=damping)
         except SolverError:
+            timings.solve_s += perf_counter() - tic
             damping *= config.damping_up
             result.cost_history.append(cost)
             continue
+        timings.solve_s += perf_counter() - tic
 
+        tic = perf_counter()
         candidate = problem.stepped(d_lambda, d_state, system)
         candidate_cost = candidate.cost()
+        timings.update_s += perf_counter() - tic
         if np.isfinite(candidate_cost) and candidate_cost < cost:
             relative_drop = (cost - candidate_cost) / max(cost, 1e-12)
             step_norm = max(

@@ -17,6 +17,7 @@ Prepare A, b" in Fig. 5).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 
 import numpy as np
 
@@ -25,12 +26,20 @@ from repro.geometry.camera import PinholeCamera
 from repro.geometry.navstate import NavState, STATE_DIM
 from repro.linalg.cholesky import cholesky_evaluate_update, solve_cholesky
 from repro.linalg.schur import d_type_back_substitute, d_type_schur
+from repro.slam.batch import (
+    VisualFactorBatch,
+    accumulate_visual_batch,
+    linearize_visual_batch,
+    visual_costs_batch,
+    visual_residuals_batch,
+)
 from repro.slam.residuals import ImuFactor, PriorFactor, VisualFactor
 
 POSE_DOF = 6
 MIN_INV_DEPTH = 1e-4
 MAX_INV_DEPTH = 1e2
 _U_FLOOR = 1e-8
+BACKENDS = ("batched", "loop")
 
 
 @dataclass
@@ -44,6 +53,11 @@ class LinearSystem:
     b_y: np.ndarray  # (q,)
     feature_ids: list[int]
     frame_ids: list[int]
+    # Wall-clock split of the build that produced this system (seconds):
+    # Jacobian/residual evaluation vs block accumulation. Fed into the
+    # per-window StageTimings breakdown by the NLS solver.
+    linearize_seconds: float = 0.0
+    assemble_seconds: float = 0.0
 
     def solve(self, damping: float = 0.0) -> tuple[np.ndarray, np.ndarray]:
         """Schur-eliminate the landmarks and solve for all unknowns.
@@ -97,8 +111,16 @@ class WindowProblem:
     # residuals beyond huber_delta get their weight scaled down by
     # delta / |r|, bounding any single mismatched track's influence.
     huber_delta: float | None = None
+    # Linearization backend: "batched" evaluates all visual factors
+    # through the structure-of-arrays kernels of repro.slam.batch;
+    # "loop" is the per-factor reference oracle.
+    backend: str = "batched"
 
     def __post_init__(self) -> None:
+        if self.backend not in BACKENDS:
+            raise SolverError(
+                f"unknown backend {self.backend!r}; choose from {BACKENDS}"
+            )
         for factor in self.visual_factors:
             if factor.anchor not in self.states or factor.target not in self.states:
                 raise SolverError(
@@ -109,6 +131,46 @@ class WindowProblem:
         for factor in self.imu_factors:
             if factor.frame_i not in self.states or factor.frame_j not in self.states:
                 raise SolverError("IMU factor references unknown keyframes")
+
+    # ------------------------------------------------------------------
+    # Structure-of-arrays gathers (batched backend)
+    # ------------------------------------------------------------------
+
+    def _sorted_ids(self) -> tuple[list[int], list[int]]:
+        return sorted(self.states), sorted(self.inv_depths)
+
+    def _visual_batch(self) -> VisualFactorBatch:
+        """The window's SoA factor gather, built once and reused.
+
+        The gathered arrays depend only on the factor list and the sorted
+        frame/feature id sets, all of which :meth:`stepped` preserves, so
+        the cache is carried across LM iterations.
+        """
+        batch = self.__dict__.get("_batch_cache")
+        if batch is None:
+            frame_ids, feature_ids = self._sorted_ids()
+            batch = VisualFactorBatch.from_factors(
+                self.visual_factors,
+                {fid: i for i, fid in enumerate(frame_ids)},
+                {fid: i for i, fid in enumerate(feature_ids)},
+            )
+            self.__dict__["_batch_cache"] = batch
+        return batch
+
+    def _pose_stacks(self, frame_ids: list[int]) -> tuple[np.ndarray, np.ndarray]:
+        """Stack the current keyframe poses as (b, 3, 3) / (b, 3) arrays."""
+        if not frame_ids:
+            return np.zeros((0, 3, 3)), np.zeros((0, 3))
+        rotations = np.stack([self.states[fid].rotation for fid in frame_ids])
+        translations = np.stack([self.states[fid].position for fid in frame_ids])
+        return rotations, translations
+
+    def _inv_depth_vector(self, feature_ids: list[int]) -> np.ndarray:
+        return np.fromiter(
+            (self.inv_depths[fid] for fid in feature_ids),
+            dtype=float,
+            count=len(feature_ids),
+        )
 
     # ------------------------------------------------------------------
     # Cost evaluation
@@ -132,21 +194,43 @@ class WindowProblem:
             return 0.5 * weight * squared
         return weight * delta * (norm - 0.5 * delta)
 
+    def _visual_cost_total(self) -> float:
+        """Summed visual cost under the active backend."""
+        if self.backend == "loop":
+            total = 0.0
+            for factor in self.visual_factors:
+                residual = factor.residual_only(
+                    self.camera,
+                    self.states[factor.anchor],
+                    self.states[factor.target],
+                    self.inv_depths[factor.feature_id],
+                )
+                if residual is not None:
+                    total += self._visual_cost(residual, factor.weight)
+            return total
+        batch = self._visual_batch()
+        if batch.num_observations == 0:
+            return 0.0
+        frame_ids, feature_ids = self._sorted_ids()
+        rotations, translations = self._pose_stacks(frame_ids)
+        valid, residuals = visual_residuals_batch(
+            self.camera, batch, rotations, translations,
+            self._inv_depth_vector(feature_ids),
+        )
+        costs = visual_costs_batch(
+            residuals[valid], batch.weights[valid], self.huber_delta
+        )
+        return float(costs.sum())
+
     def cost(self) -> float:
         """Total MAP objective at the current estimates."""
-        total = 0.0
-        for factor in self.visual_factors:
-            residual = factor.residual_only(
-                self.camera,
-                self.states[factor.anchor],
-                self.states[factor.target],
-                self.inv_depths[factor.feature_id],
-            )
-            if residual is not None:
-                total += self._visual_cost(residual, factor.weight)
+        total = self._visual_cost_total()
         for factor in self.imu_factors:
-            lin = factor.linearize(self.states[factor.frame_i], self.states[factor.frame_j])
-            total += 0.5 * float(lin.residual @ lin.information @ lin.residual)
+            residual = factor.residual_only(
+                self.states[factor.frame_i], self.states[factor.frame_j]
+            )
+            information = factor.information()
+            total += 0.5 * float(residual @ information @ residual)
         for prior in self.priors:
             total += prior.cost(self.states)
         return total
@@ -156,11 +240,15 @@ class WindowProblem:
     # ------------------------------------------------------------------
 
     def build_linear_system(self) -> LinearSystem:
-        """Linearize every factor and accumulate the arrow system."""
-        frame_ids = sorted(self.states)
-        feature_ids = sorted(self.inv_depths)
+        """Linearize every factor and accumulate the arrow system.
+
+        The visual factors go through the backend selected at
+        construction; IMU and prior factors are few per window and stay
+        on the per-factor path under either backend. The returned system
+        carries the linearize/assemble wall-clock split.
+        """
+        frame_ids, feature_ids = self._sorted_ids()
         frame_index = {fid: i for i, fid in enumerate(frame_ids)}
-        feature_index = {fid: i for i, fid in enumerate(feature_ids)}
         p = len(feature_ids)
         q = STATE_DIM * len(frame_ids)
 
@@ -169,42 +257,69 @@ class WindowProblem:
         v_block = np.zeros((q, q))
         b_x = np.zeros(p)
         b_y = np.zeros(q)
+        linearize_s = 0.0
+        assemble_s = 0.0
 
-        for factor in self.visual_factors:
-            lin = factor.linearize(
+        if self.backend == "batched":
+            tic = perf_counter()
+            batch = self._visual_batch()
+            rotations, translations = self._pose_stacks(frame_ids)
+            lin = linearize_visual_batch(
                 self.camera,
-                self.states[factor.anchor],
-                self.states[factor.target],
-                self.inv_depths[factor.feature_id],
+                batch,
+                rotations,
+                translations,
+                self._inv_depth_vector(feature_ids),
+                self.huber_delta,
             )
-            if lin is None:
-                continue
-            f = feature_index[factor.feature_id]
-            h = STATE_DIM * frame_index[factor.anchor]
-            j = STATE_DIM * frame_index[factor.target]
-            w = lin.weight * self._huber_scale(lin.residual)
-            jl = lin.jac_inv_depth  # (2, 1)
-            jh = lin.jac_pose_anchor  # (2, 6)
-            jt = lin.jac_pose_target  # (2, 6)
-            r = lin.residual
+            toc = perf_counter()
+            accumulate_visual_batch(lin, batch, u_diag, w_block, v_block, b_x, b_y)
+            linearize_s += toc - tic
+            assemble_s += perf_counter() - toc
+        else:
+            feature_index = {fid: i for i, fid in enumerate(feature_ids)}
+            for factor in self.visual_factors:
+                tic = perf_counter()
+                lin = factor.linearize(
+                    self.camera,
+                    self.states[factor.anchor],
+                    self.states[factor.target],
+                    self.inv_depths[factor.feature_id],
+                )
+                toc = perf_counter()
+                linearize_s += toc - tic
+                if lin is None:
+                    continue
+                f = feature_index[factor.feature_id]
+                h = STATE_DIM * frame_index[factor.anchor]
+                j = STATE_DIM * frame_index[factor.target]
+                w = lin.weight * self._huber_scale(lin.residual)
+                jl = lin.jac_inv_depth  # (2, 1)
+                jh = lin.jac_pose_anchor  # (2, 6)
+                jt = lin.jac_pose_target  # (2, 6)
+                r = lin.residual
 
-            u_diag[f] += w * float((jl.T @ jl).item())
-            b_x[f] -= w * float((jl.T @ r).item())
+                u_diag[f] += w * float((jl.T @ jl).item())
+                b_x[f] -= w * float((jl.T @ r).item())
 
-            w_block[h : h + POSE_DOF, f] += w * (jh.T @ jl).ravel()
-            w_block[j : j + POSE_DOF, f] += w * (jt.T @ jl).ravel()
+                w_block[h : h + POSE_DOF, f] += w * (jh.T @ jl).ravel()
+                w_block[j : j + POSE_DOF, f] += w * (jt.T @ jl).ravel()
 
-            v_block[h : h + POSE_DOF, h : h + POSE_DOF] += w * (jh.T @ jh)
-            v_block[j : j + POSE_DOF, j : j + POSE_DOF] += w * (jt.T @ jt)
-            cross = w * (jh.T @ jt)
-            v_block[h : h + POSE_DOF, j : j + POSE_DOF] += cross
-            v_block[j : j + POSE_DOF, h : h + POSE_DOF] += cross.T
+                v_block[h : h + POSE_DOF, h : h + POSE_DOF] += w * (jh.T @ jh)
+                v_block[j : j + POSE_DOF, j : j + POSE_DOF] += w * (jt.T @ jt)
+                cross = w * (jh.T @ jt)
+                v_block[h : h + POSE_DOF, j : j + POSE_DOF] += cross
+                v_block[j : j + POSE_DOF, h : h + POSE_DOF] += cross.T
 
-            b_y[h : h + POSE_DOF] -= w * (jh.T @ r)
-            b_y[j : j + POSE_DOF] -= w * (jt.T @ r)
+                b_y[h : h + POSE_DOF] -= w * (jh.T @ r)
+                b_y[j : j + POSE_DOF] -= w * (jt.T @ r)
+                assemble_s += perf_counter() - toc
 
         for factor in self.imu_factors:
+            tic = perf_counter()
             lin = factor.linearize(self.states[factor.frame_i], self.states[factor.frame_j])
+            toc = perf_counter()
+            linearize_s += toc - tic
             i = STATE_DIM * frame_index[factor.frame_i]
             j = STATE_DIM * frame_index[factor.frame_j]
             info = lin.information
@@ -218,7 +333,9 @@ class WindowProblem:
             v_block[j : j + STATE_DIM, i : i + STATE_DIM] += cross.T
             b_y[i : i + STATE_DIM] -= ji_w @ r
             b_y[j : j + STATE_DIM] -= jj_w @ r
+            assemble_s += perf_counter() - toc
 
+        tic = perf_counter()
         for prior in self.priors:
             h_prior, g_prior = prior.contribution(self.states)
             idx = np.concatenate(
@@ -229,6 +346,7 @@ class WindowProblem:
             )
             v_block[np.ix_(idx, idx)] += h_prior
             b_y[idx] += g_prior
+        assemble_s += perf_counter() - tic
 
         return LinearSystem(
             u_diag=u_diag,
@@ -238,6 +356,8 @@ class WindowProblem:
             b_y=b_y,
             feature_ids=feature_ids,
             frame_ids=frame_ids,
+            linearize_seconds=linearize_s,
+            assemble_seconds=assemble_s,
         )
 
     # ------------------------------------------------------------------
@@ -257,7 +377,7 @@ class WindowProblem:
             new_depths[fid] = float(
                 np.clip(new_depths[fid] + d_lambda[i], MIN_INV_DEPTH, MAX_INV_DEPTH)
             )
-        return WindowProblem(
+        stepped = WindowProblem(
             camera=self.camera,
             states=new_states,
             inv_depths=new_depths,
@@ -265,4 +385,11 @@ class WindowProblem:
             imu_factors=self.imu_factors,
             priors=self.priors,
             huber_delta=self.huber_delta,
+            backend=self.backend,
         )
+        # The factor list and the frame/feature id sets are unchanged, so
+        # the SoA gather can be carried over to the stepped problem.
+        cached = self.__dict__.get("_batch_cache")
+        if cached is not None:
+            stepped.__dict__["_batch_cache"] = cached
+        return stepped

@@ -151,7 +151,13 @@ class ImuFactor:
         default_factory=lambda: np.concatenate([np.full(3, 1e6), np.full(3, 1e4)])
     )
 
-    def linearize(self, state_i: NavState, state_j: NavState) -> ImuLinearization:
+    def _residual_terms(
+        self, state_i: NavState, state_j: NavState
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Residual plus the intermediates the Jacobians reuse.
+
+        Returns ``(residual, rot_i_t, p_term, v_term, r_theta)``.
+        """
         pre = self.preintegration
         dt = pre.dt_total
         alpha, beta, gamma = pre.corrected_deltas(state_i.bias_gyro, state_i.bias_accel)
@@ -171,6 +177,33 @@ class ImuFactor:
         r_bg = state_j.bias_gyro - state_i.bias_gyro
         r_ba = state_j.bias_accel - state_i.bias_accel
         residual = np.concatenate([r_alpha, r_theta, r_beta, r_bg, r_ba])
+        return residual, rot_i_t, p_term, v_term, r_theta
+
+    def residual_only(self, state_i: NavState, state_j: NavState) -> np.ndarray:
+        """The 15-dim residual without the two 15x15 Jacobians.
+
+        Cost evaluation only needs the residual and the information
+        matrix; skipping the Jacobian assembly roughly halves the
+        per-factor work of :meth:`WindowProblem.cost`.
+        """
+        return self._residual_terms(state_i, state_j)[0]
+
+    def information(self) -> np.ndarray:
+        """The 15x15 residual information (preintegration + bias walk)."""
+        pre = self.preintegration
+        information = np.zeros((15, 15))
+        information[0:9, 0:9] = pre.information_matrix()
+        information[9:15, 9:15] = np.diag(
+            self.bias_walk_info / max(pre.dt_total, 1e-6)
+        )
+        return information
+
+    def linearize(self, state_i: NavState, state_j: NavState) -> ImuLinearization:
+        pre = self.preintegration
+        dt = pre.dt_total
+        residual, rot_i_t, p_term, v_term, r_theta = self._residual_terms(
+            state_i, state_j
+        )
 
         jr_inv = right_jacobian_inverse(r_theta)
 
@@ -208,10 +241,7 @@ class ImuFactor:
         jac_i[12:15, 12:15] = -np.eye(3)
         jac_j[12:15, 12:15] = np.eye(3)
 
-        information = np.zeros((15, 15))
-        information[0:9, 0:9] = pre.information_matrix()
-        information[9:15, 9:15] = np.diag(self.bias_walk_info / max(dt, 1e-6))
-        return ImuLinearization(residual, jac_i, jac_j, information)
+        return ImuLinearization(residual, jac_i, jac_j, self.information())
 
 
 @dataclass

@@ -1,6 +1,5 @@
 """Tests for trace-driven co-simulation and the relaxation solver."""
 
-import numpy as np
 import pytest
 
 from repro.data import make_euroc_sequence
@@ -41,6 +40,25 @@ class TestTraceSimulation:
         a = simulate_trace(short_run, HardwareConfig(16, 8, 24), seed=3)
         b = simulate_trace(short_run, HardwareConfig(16, 8, 24), seed=3)
         assert a.simulated_cycles == b.simulated_cycles
+
+    def test_model_agreement_empty_trace(self):
+        from repro.hw.sim.trace import TraceSimulation
+
+        assert TraceSimulation().model_agreement() == 0.0
+
+    def test_model_agreement_skips_zero_model_windows(self):
+        from repro.hw.sim.trace import TraceSimulation
+
+        trace = TraceSimulation(
+            simulated_cycles=[110.0, 50.0],
+            analytical_cycles=[100.0, 0.0],
+        )
+        # The zero-model window must not divide-by-zero the mean.
+        assert trace.model_agreement() == pytest.approx(0.1)
+        all_zero = TraceSimulation(
+            simulated_cycles=[50.0], analytical_cycles=[0.0]
+        )
+        assert all_zero.model_agreement() == 0.0
 
 
 class TestRelaxationSolver:
