@@ -24,6 +24,8 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import zipfile
+import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -79,8 +81,18 @@ class ArtifactCache:
                     return None  # stale: stage logic changed since this blob
                 arrays = {k: data[k] for k in data.files if k != _META_KEY}
             return arrays, engine_meta.get("codec_meta", {})
-        except (OSError, ValueError, KeyError, json.JSONDecodeError):
-            return None  # unreadable blob: recompute rather than fail
+        except (
+            OSError,
+            ValueError,
+            KeyError,
+            EOFError,
+            json.JSONDecodeError,
+            zipfile.BadZipFile,
+            zlib.error,
+        ):
+            # Unreadable/corrupt blob (truncated zip, flipped bytes,
+            # bad JSON, ...): recompute rather than fail.
+            return None
 
     def store(
         self,

@@ -40,6 +40,13 @@ logger = logging.getLogger("repro.engine")
 DEFAULT_CACHE_DIR = Path(os.environ.get("REPRO_CACHE_DIR", ".repro_cache"))
 
 
+def _disk_cache_enabled() -> bool:
+    """False when ``REPRO_NO_CACHE`` is set truthy — the environment
+    analogue of ``--no-cache`` for entry points without CLI flags
+    (examples, smoke tests)."""
+    return os.environ.get("REPRO_NO_CACHE", "").lower() not in ("1", "true", "yes")
+
+
 @dataclass(frozen=True)
 class Artifact:
     """One stage product plus its provenance."""
@@ -167,7 +174,7 @@ def get_engine() -> Engine:
     global _default_engine
     with _default_lock:
         if _default_engine is None:
-            _default_engine = Engine()
+            _default_engine = Engine(use_disk=_disk_cache_enabled())
         return _default_engine
 
 

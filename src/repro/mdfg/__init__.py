@@ -25,6 +25,7 @@ from repro.mdfg.builder import (
     build_marginalization_mdfg,
     build_window_mdfg,
 )
+from repro.mdfg.export import from_json, to_dot, to_json
 from repro.mdfg.layout import LayoutDecision, choose_s_matrix_layout
 from repro.mdfg.schedule import HardwareBlockType, Schedule, schedule_mdfg
 
@@ -42,6 +43,9 @@ __all__ = [
     "build_window_mdfg",
     "LayoutDecision",
     "choose_s_matrix_layout",
+    "to_dot",
+    "to_json",
+    "from_json",
     "HardwareBlockType",
     "Schedule",
     "schedule_mdfg",

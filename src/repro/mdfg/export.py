@@ -1,13 +1,21 @@
-"""M-DFG export: Graphviz DOT rendering for inspection and papers.
+"""M-DFG export: Graphviz DOT rendering and a JSON round-trip format.
 
 ``to_dot`` produces a DOT document colored by the hardware block each
 node is scheduled onto, which visualizes the Fig. 5 mapping directly
-from a built graph.
+from a built graph. ``to_json``/``from_json`` serialize a graph to a
+self-contained document (nodes in topological order, edges as index
+pairs) and rebuild it — the round-trip preserves node/edge structure
+and the schedule, which is what lets a built M-DFG be archived next to
+the design it parameterized.
 """
 
 from __future__ import annotations
 
+import json
+
+from repro.errors import GraphError
 from repro.mdfg.graph import MDFG
+from repro.mdfg.nodes import MDFGNode, NodeType
 from repro.mdfg.schedule import HardwareBlockType, schedule_mdfg
 
 _BLOCK_COLORS = {
@@ -44,3 +52,66 @@ def to_dot(graph: MDFG, name: str | None = None) -> str:
             lines.append(f"  {ids[node]} -> {ids[successor]};")
     lines.append("}")
     return "\n".join(lines)
+
+
+JSON_SCHEMA_VERSION = 1
+
+
+def to_json(graph: MDFG) -> str:
+    """Serialize the graph to a self-contained JSON document.
+
+    Nodes are listed in topological order (so the document doubles as a
+    valid execution order) and edges reference node list indices; uids
+    are deliberately not stored — they are process-local identity, not
+    structure.
+    """
+    order = graph.topological_order()
+    index = {node: i for i, node in enumerate(order)}
+    document = {
+        "schema": JSON_SCHEMA_VERSION,
+        "name": graph.name,
+        "nodes": [
+            {"type": node.node_type.value, "dims": list(node.dims), "label": node.label}
+            for node in order
+        ],
+        "edges": [
+            [index[node], index[successor]]
+            for node in order
+            for successor in graph.successors(node)
+        ],
+    }
+    return json.dumps(document, indent=2)
+
+
+def from_json(document: str) -> MDFG:
+    """Rebuild a graph from :func:`to_json` output.
+
+    The reconstructed graph has fresh node uids but identical structure:
+    same node signature multiset, same edge relation, same topological
+    node sequence, and therefore the same schedule and costs.
+    """
+    try:
+        data = json.loads(document)
+    except json.JSONDecodeError as error:
+        raise GraphError(f"malformed M-DFG JSON: {error}") from error
+    if data.get("schema") != JSON_SCHEMA_VERSION:
+        raise GraphError(
+            f"unsupported M-DFG JSON schema {data.get('schema')!r} "
+            f"(expected {JSON_SCHEMA_VERSION})"
+        )
+    graph = MDFG(name=data.get("name", "mdfg"))
+    nodes: list[MDFGNode] = []
+    try:
+        for record in data["nodes"]:
+            node = MDFGNode(
+                NodeType(record["type"]),
+                tuple(int(d) for d in record["dims"]),
+                record.get("label", ""),
+            )
+            graph.add_node(node)
+            nodes.append(node)
+        for producer, consumer in data["edges"]:
+            graph.add_edge(nodes[producer], nodes[consumer])
+    except (KeyError, IndexError, ValueError, TypeError) as error:
+        raise GraphError(f"malformed M-DFG JSON: {error}") from error
+    return graph

@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.data.sequences import Sequence
 from repro.data.stats import WindowStats
+from repro.errors import DataError
 from repro.geometry.navstate import NavState
 from repro.geometry.se3 import SE3
 from repro.imu.preintegration import GRAVITY, ImuPreintegration
@@ -203,6 +204,11 @@ class SlidingWindowEstimator:
             return
 
         segment = sequence.imu_segments[frame_id - 1]
+        if len(segment.gyro) == 0 or len(segment.accel) == 0:
+            raise DataError(
+                f"IMU gap: no samples between keyframes {frame_id - 1} and "
+                f"{frame_id} (sequence {sequence.config.name!r})"
+            )
         noise = sequence.config.imu_noise
         prev = self.states[frame_id - 1]
         pre = ImuPreintegration(
@@ -240,6 +246,11 @@ class SlidingWindowEstimator:
         pixel_sigma = max(sequence.config.tracker.pixel_sigma, 1e-3)
         weight = 1.0 / (pixel_sigma * pixel_sigma)
         for fid, pixel in sequence.observations[frame_id].pixels.items():
+            if not np.all(np.isfinite(pixel)):
+                # A dead tracker output (NaN/inf pixel) constrains
+                # nothing; dropping it keeps the window solvable instead
+                # of poisoning every block it touches.
+                continue
             record = self.features.get(fid)
             if record is None:
                 bearing = np.array(

@@ -1,0 +1,93 @@
+"""CLI: ``python -m repro.testing`` — the CI conformance gate.
+
+Runs the full differential-oracle x workload matrix through the
+engine's parallel runner, writes the ``CONFORMANCE.json`` artifact, and
+exits nonzero on any mismatch. ``--perturb ORACLE`` deliberately skews
+that oracle's inputs — the run must then fail, which is the built-in
+proof that the gate detects disagreement rather than passing vacuously.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.errors import ConfigurationError
+from repro.testing.conformance import (
+    DEFAULT_WORKLOADS,
+    QUICK_WORKLOADS,
+    run_conformance,
+)
+from repro.testing.oracles import ORACLES
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.testing",
+        description="Run the cross-layer differential conformance matrix.",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="run the fast CI matrix (smaller scales, same four oracles)",
+    )
+    parser.add_argument(
+        "--oracle",
+        action="append",
+        choices=sorted(ORACLES),
+        metavar="NAME",
+        help=f"restrict to one oracle (repeatable); choices: {sorted(ORACLES)}",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=4,
+        metavar="N",
+        help="worker threads for the matrix (default: 4)",
+    )
+    parser.add_argument(
+        "--output",
+        default="CONFORMANCE.json",
+        metavar="PATH",
+        help="where to write the JSON report (default: CONFORMANCE.json)",
+    )
+    parser.add_argument(
+        "--perturb",
+        default=None,
+        metavar="ORACLE",
+        help="deliberately skew one oracle's inputs ('all' for every "
+        "oracle); the run must then fail — a self-test of the gate",
+    )
+    parser.add_argument(
+        "--perturbation",
+        type=float,
+        default=0.05,
+        metavar="EPS",
+        help="relative size of the --perturb skew (default: 0.05)",
+    )
+    return parser
+
+
+def main(argv: list[str]) -> int:
+    args = build_parser().parse_args(argv)
+    workloads = QUICK_WORKLOADS if args.quick else DEFAULT_WORKLOADS
+    try:
+        run = run_conformance(
+            workloads=workloads,
+            oracle_names=tuple(args.oracle) if args.oracle else None,
+            jobs=args.jobs,
+            perturb=args.perturb,
+            perturbation=args.perturbation,
+        )
+    except ConfigurationError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    path = run.write_json(args.output)
+    for line in run.summary_lines():
+        print(line)
+    print(f"report written to {path}")
+    return 0 if run.passed else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

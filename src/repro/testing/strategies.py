@@ -1,0 +1,147 @@
+"""Shared Hypothesis strategies and the named test profiles.
+
+Test-only module (imports :mod:`hypothesis`, which the library itself
+never depends on — keep it out of ``repro.testing.__init__``). The
+strategies wrap the deterministic builders of
+:mod:`repro.testing.workloads`, so property tests, the differential
+oracles, and ad-hoc scripts all draw from the same workload
+distributions.
+
+Profiles: ``dev`` (the default) keeps example counts low so the local
+suite stays fast; ``ci`` raises ``max_examples`` and derandomizes —
+every CI run executes the identical example sequence, so the gate can
+never flake on an unlucky draw. Select with ``HYPOTHESIS_PROFILE=ci``
+(loaded by ``tests/conftest.py`` via :func:`register_profiles`).
+"""
+
+from __future__ import annotations
+
+import os
+
+from hypothesis import HealthCheck, settings
+from hypothesis import strategies as st
+
+from repro.data.sequences import SequenceConfig
+from repro.hw.config import ND_RANGE, NM_RANGE, S_RANGE, HardwareConfig
+from repro.synth.spec import DesignSpec
+from repro.testing.workloads import (
+    make_random_stats,
+    make_random_window,
+    make_stats_series,
+)
+
+DEV_PROFILE = "dev"
+CI_PROFILE = "ci"
+
+
+def register_profiles(default: str | None = None) -> None:
+    """Register the named profiles and load one.
+
+    The loaded profile is ``HYPOTHESIS_PROFILE`` when set, else
+    ``default``, else ``dev``. Idempotent — safe to call from several
+    conftests.
+    """
+    settings.register_profile(
+        DEV_PROFILE,
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    settings.register_profile(
+        CI_PROFILE,
+        max_examples=60,
+        deadline=None,
+        derandomize=True,  # fixed example sequence: no flaky CI draws
+        print_blob=True,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", default or DEV_PROFILE))
+
+
+# ----------------------------------------------------------------------
+# Scalar building blocks
+# ----------------------------------------------------------------------
+
+def seeds(max_value: int = 500) -> st.SearchStrategy[int]:
+    """Workload seeds — the one knob every deterministic builder takes."""
+    return st.integers(min_value=0, max_value=max_value)
+
+
+# ----------------------------------------------------------------------
+# Windows and workloads
+# ----------------------------------------------------------------------
+
+def window_problems(
+    max_keyframes: int = 6,
+    max_features: int = 24,
+    backends: tuple[str, ...] = ("batched",),
+) -> st.SearchStrategy:
+    """Randomized sliding-window MAP problems."""
+    return st.builds(
+        make_random_window,
+        seed=seeds(),
+        num_keyframes=st.integers(min_value=2, max_value=max_keyframes),
+        num_features=st.integers(min_value=2, max_value=max_features),
+        backend=st.sampled_from(backends),
+    )
+
+
+def window_stats(max_features: int = 200) -> st.SearchStrategy:
+    """Randomized per-window workload statistics."""
+    return st.builds(make_random_stats, seeds(), max_features=st.just(max_features))
+
+
+def stats_series(max_windows: int = 24) -> st.SearchStrategy:
+    """Randomized (stats, iterations) series for trace replay."""
+    return st.builds(
+        make_stats_series,
+        seed=seeds(),
+        num_windows=st.integers(min_value=1, max_value=max_windows),
+    )
+
+
+# ----------------------------------------------------------------------
+# Hardware and synthesis
+# ----------------------------------------------------------------------
+
+def hardware_configs() -> st.SearchStrategy[HardwareConfig]:
+    """Any point of the (nd, nm, s) design space."""
+    return st.builds(
+        HardwareConfig,
+        nd=st.integers(min_value=ND_RANGE[0], max_value=ND_RANGE[1]),
+        nm=st.integers(min_value=NM_RANGE[0], max_value=NM_RANGE[1]),
+        s=st.integers(min_value=S_RANGE[0], max_value=S_RANGE[1]),
+    )
+
+
+def design_specs(
+    min_budget_ms: float = 18.0,
+    max_budget_ms: float = 120.0,
+    min_resource_budget: float = 0.5,
+) -> st.SearchStrategy[DesignSpec]:
+    """Feasible-ish synthesis constraints (the optimizer-contract range)."""
+    return st.builds(
+        DesignSpec,
+        latency_budget_s=st.floats(
+            min_value=min_budget_ms / 1e3, max_value=max_budget_ms / 1e3
+        ),
+        resource_budget=st.floats(min_value=min_resource_budget, max_value=1.0),
+    )
+
+
+# ----------------------------------------------------------------------
+# Trajectories / sequences
+# ----------------------------------------------------------------------
+
+def sequence_configs(
+    max_duration: float = 6.0,
+) -> st.SearchStrategy[SequenceConfig]:
+    """Short randomized trajectory recordings (drone and car)."""
+    return st.builds(
+        SequenceConfig,
+        name=st.just("prop"),
+        kind=st.sampled_from(("drone", "car")),
+        seed=seeds(),
+        duration=st.floats(min_value=2.0, max_value=max_duration),
+        motion_scale=st.floats(min_value=0.3, max_value=1.3),
+    )

@@ -1,0 +1,10 @@
+"""Suite-wide fixtures and Hypothesis profile selection.
+
+Profiles live in :mod:`repro.testing.strategies`: ``dev`` (default,
+small example counts) and ``ci`` (more examples, derandomized so CI can
+never flake on an unlucky draw). Select with ``HYPOTHESIS_PROFILE=ci``.
+"""
+
+from repro.testing.strategies import register_profiles
+
+register_profiles()

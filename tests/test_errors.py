@@ -1,0 +1,108 @@
+"""The exception hierarchy: one root, typed leaves, contextful messages.
+
+The library's error contract has two halves: every failure is a
+:class:`repro.errors.ReproError` subclass (single-``except`` catchable),
+and the message carries enough configuration context to act on without a
+debugger.
+"""
+
+import pytest
+
+import repro.errors as errors_module
+from repro.errors import (
+    ConfigurationError,
+    DataError,
+    GraphError,
+    InfeasibleDesignError,
+    ReproError,
+    ScheduleError,
+    SolverError,
+)
+
+LEAVES = [
+    ConfigurationError,
+    InfeasibleDesignError,
+    GraphError,
+    ScheduleError,
+    DataError,
+    SolverError,
+]
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("exc", LEAVES)
+    def test_every_error_subclasses_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+        assert issubclass(exc, Exception)
+
+    def test_module_exports_nothing_outside_the_hierarchy(self):
+        public = [
+            obj
+            for name, obj in vars(errors_module).items()
+            if isinstance(obj, type) and not name.startswith("_")
+        ]
+        assert set(public) == set(LEAVES) | {ReproError}
+
+    def test_single_except_clause_catches_any_library_failure(self):
+        from repro.hw import HardwareConfig
+
+        caught = None
+        try:
+            HardwareConfig(nd=0)
+        except ReproError as error:
+            caught = error
+        assert isinstance(caught, ConfigurationError)
+
+
+class TestMessagesCarryContext:
+    def test_hardware_config_message_names_field_and_range(self):
+        from repro.hw.config import ND_RANGE, HardwareConfig
+
+        with pytest.raises(ConfigurationError) as info:
+            HardwareConfig(nd=0)
+        message = str(info.value)
+        assert "nd" in message
+        assert str(ND_RANGE[0]) in message and str(ND_RANGE[1]) in message
+        assert "0" in message
+
+    def test_infeasible_design_message_names_budget_and_platform(self):
+        from repro.synth import DesignSpec, exhaustive_search
+
+        spec = DesignSpec(latency_budget_s=1e-9)
+        with pytest.raises(InfeasibleDesignError) as info:
+            exhaustive_search(spec)
+        message = str(info.value)
+        assert spec.platform.name in message
+        assert "latency" in message
+
+    def test_unknown_design_message_lists_choices(self):
+        from repro.engine.stages import NAMED_DESIGN_SPECS, named_design
+
+        with pytest.raises(ConfigurationError) as info:
+            named_design("no-such-design")
+        message = str(info.value)
+        assert "no-such-design" in message
+        assert all(name in message for name in NAMED_DESIGN_SPECS)
+
+    def test_solver_error_names_failing_pivot(self):
+        import numpy as np
+
+        from repro.linalg.cholesky import cholesky_evaluate_update
+
+        singular = np.zeros((3, 3))
+        with pytest.raises(SolverError) as info:
+            cholesky_evaluate_update(singular)
+        assert "pivot" in str(info.value)
+
+    def test_imu_gap_message_names_keyframes_and_sequence(self):
+        from repro.data import make_euroc_sequence
+        from repro.slam import EstimatorConfig, SlidingWindowEstimator
+        from repro.testing.faults import inject_imu_gap
+
+        sequence = make_euroc_sequence("MH_01", duration=3.0)
+        faulted = inject_imu_gap(sequence, segment_index=1)
+        with pytest.raises(DataError) as info:
+            SlidingWindowEstimator(EstimatorConfig(window_size=4)).run(faulted)
+        message = str(info.value)
+        assert "keyframes 1 and 2" in message
+        assert sequence.config.name in message

@@ -1,9 +1,13 @@
-"""Smoke test: every example script runs headless and exits cleanly.
+"""Smoke test: every entry point a reader can run exits cleanly.
 
-Each example is executed as a real subprocess (the way a reader would
-run it), with REPRO_EXAMPLE_DURATION shortened so the estimator-driven
-ones stay quick, and the engine cache pointed at a throwaway directory
-so runs never leak state into the repo.
+Covers the example scripts plus the module CLIs
+(``python -m repro.experiments`` / ``repro.synth``), each executed as a
+real subprocess with REPRO_EXAMPLE_DURATION shortened so the
+estimator-driven ones stay quick, and the engine cache pointed at a
+throwaway directory so runs never leak state into the repo. The
+``--no-cache`` path is exercised both through the experiments flag and
+through the ``REPRO_NO_CACHE`` environment analogue the flagless
+examples honor.
 """
 
 from __future__ import annotations
@@ -19,26 +23,83 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 EXAMPLES = sorted((REPO_ROOT / "examples").glob("*.py"))
 
 
-def test_examples_discovered():
-    assert len(EXAMPLES) >= 5
-
-
-@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
-def test_example_runs_clean(script, tmp_path):
+def run_entry_point(argv, tmp_path, extra_env=None):
     env = dict(os.environ)
     env["PYTHONPATH"] = str(REPO_ROOT / "src")
     env["REPRO_EXAMPLE_DURATION"] = "3.0"
     env["REPRO_CACHE_DIR"] = str(tmp_path / "cache")
     env["MPLBACKEND"] = "Agg"  # headless, should any example ever plot
-    completed = subprocess.run(
-        [sys.executable, str(script)],
+    env.update(extra_env or {})
+    return subprocess.run(
+        [sys.executable, *argv],
         cwd=REPO_ROOT,
         env=env,
         capture_output=True,
         text=True,
         timeout=300,
     )
+
+
+def assert_clean(completed, name):
     assert completed.returncode == 0, (
-        f"{script.name} failed:\n{completed.stdout}\n{completed.stderr}"
+        f"{name} failed:\n{completed.stdout}\n{completed.stderr}"
     )
-    assert completed.stdout.strip(), f"{script.name} printed nothing"
+    assert completed.stdout.strip(), f"{name} printed nothing"
+
+
+def test_examples_discovered():
+    assert len(EXAMPLES) >= 5
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs_clean(script, tmp_path):
+    completed = run_entry_point([str(script)], tmp_path)
+    assert_clean(completed, script.name)
+
+
+def test_example_runs_without_disk_cache(tmp_path):
+    """REPRO_NO_CACHE=1 is the --no-cache of flagless entry points: the
+    run succeeds and the cache directory is never created."""
+    script = REPO_ROOT / "examples" / "quickstart.py"
+    completed = run_entry_point(
+        [str(script)], tmp_path, extra_env={"REPRO_NO_CACHE": "1"}
+    )
+    assert_clean(completed, script.name)
+    assert not (tmp_path / "cache").exists()
+
+
+class TestModuleEntryPoints:
+    def test_experiments_list(self, tmp_path):
+        completed = run_entry_point(["-m", "repro.experiments", "--list"], tmp_path)
+        assert_clean(completed, "repro.experiments --list")
+        ids = completed.stdout.split()
+        assert "fig11" in ids and len(ids) >= 10
+
+    def test_experiments_no_cache_run(self, tmp_path):
+        completed = run_entry_point(
+            ["-m", "repro.experiments", "sec33", "--no-cache"], tmp_path
+        )
+        assert_clean(completed, "repro.experiments sec33 --no-cache")
+        assert "disk: disabled" in completed.stdout
+        assert not (tmp_path / "cache").exists()
+
+    def test_experiments_unknown_id_exits_two(self, tmp_path):
+        completed = run_entry_point(
+            ["-m", "repro.experiments", "fig99", "--no-cache"], tmp_path
+        )
+        assert completed.returncode == 2
+        assert "fig99" in completed.stderr
+
+    def test_synth_cli_prints_design(self, tmp_path):
+        completed = run_entry_point(
+            ["-m", "repro.synth", "--latency-ms", "40"], tmp_path
+        )
+        assert_clean(completed, "repro.synth")
+        assert "design" in completed.stdout and "power" in completed.stdout
+
+    def test_synth_cli_infeasible_exits_one(self, tmp_path):
+        completed = run_entry_point(
+            ["-m", "repro.synth", "--latency-ms", "0.0001"], tmp_path
+        )
+        assert completed.returncode == 1
+        assert "infeasible" in completed.stderr

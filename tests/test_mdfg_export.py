@@ -1,0 +1,154 @@
+"""M-DFG serialization and data-layout decisions.
+
+The JSON round-trip contract: ``from_json(to_json(g))`` rebuilds a graph
+with fresh uids but identical structure — node signature multiset, edge
+relation, topological sequence, schedule, and costs all survive. Checked
+on a fig11-scale window graph, where sharing and pipelining are real.
+"""
+
+import json
+from collections import Counter
+
+import pytest
+
+from repro.data.stats import WindowStats
+from repro.errors import GraphError
+from repro.mdfg import (
+    MDFG,
+    NodeType,
+    build_window_mdfg,
+    choose_s_matrix_layout,
+    from_json,
+    schedule_mdfg,
+    to_dot,
+    to_json,
+)
+from repro.mdfg.export import JSON_SCHEMA_VERSION
+from repro.mdfg.layout import s_matrix_buffer_words
+
+FIG11_STATS = WindowStats(
+    num_features=120, avg_observations=4.0, num_keyframes=10, num_marginalized=20
+)
+
+
+@pytest.fixture(scope="module")
+def fig11_graph():
+    return build_window_mdfg(FIG11_STATS, iterations=4)
+
+
+def edge_relation(graph: MDFG) -> set[tuple]:
+    """The edge set in uid-free form: (producer sig, consumer sig, rank)."""
+    order = graph.topological_order()
+    index = {node: i for i, node in enumerate(order)}
+    return {
+        (index[node], index[successor])
+        for node in order
+        for successor in graph.successors(node)
+    }
+
+
+class TestJsonRoundTrip:
+    def test_structure_preserved(self, fig11_graph):
+        rebuilt = from_json(to_json(fig11_graph))
+        assert rebuilt.name == fig11_graph.name
+        assert rebuilt.num_nodes == fig11_graph.num_nodes
+        assert rebuilt.num_edges == fig11_graph.num_edges
+        original_sigs = Counter(n.signature() for n in fig11_graph.nodes)
+        rebuilt_sigs = Counter(n.signature() for n in rebuilt.nodes)
+        assert rebuilt_sigs == original_sigs
+        assert edge_relation(rebuilt) == edge_relation(fig11_graph)
+
+    def test_topological_sequence_preserved(self, fig11_graph):
+        rebuilt = from_json(to_json(fig11_graph))
+        original = [n.signature() for n in fig11_graph.topological_order()]
+        roundtripped = [n.signature() for n in rebuilt.topological_order()]
+        assert roundtripped == original
+
+    def test_schedule_and_costs_preserved(self, fig11_graph):
+        rebuilt = from_json(to_json(fig11_graph))
+        assert rebuilt.total_cost() == fig11_graph.total_cost()
+        assert rebuilt.critical_path_cost() == fig11_graph.critical_path_cost()
+        original_schedule = schedule_mdfg(fig11_graph)
+        rebuilt_schedule = schedule_mdfg(rebuilt)
+        assert rebuilt_schedule.shared_blocks == original_schedule.shared_blocks
+        original_blocks = [
+            original_schedule.assignments[n] for n in fig11_graph.topological_order()
+        ]
+        rebuilt_blocks = [
+            rebuilt_schedule.assignments[n] for n in rebuilt.topological_order()
+        ]
+        assert rebuilt_blocks == original_blocks
+
+    def test_uids_are_fresh(self, fig11_graph):
+        rebuilt = from_json(to_json(fig11_graph))
+        assert {n.uid for n in rebuilt.nodes}.isdisjoint(
+            {n.uid for n in fig11_graph.nodes}
+        )
+
+    def test_document_nodes_are_in_topological_order(self, fig11_graph):
+        data = json.loads(to_json(fig11_graph))
+        assert data["schema"] == JSON_SCHEMA_VERSION
+        assert len(data["nodes"]) == fig11_graph.num_nodes
+        # every edge points forward in the node list
+        assert all(producer < consumer for producer, consumer in data["edges"])
+
+    def test_second_round_trip_is_stable(self, fig11_graph):
+        once = to_json(fig11_graph)
+        twice = to_json(from_json(once))
+        assert once == twice
+
+
+class TestJsonErrors:
+    def test_malformed_json_raises_graph_error(self):
+        with pytest.raises(GraphError, match="malformed"):
+            from_json("{not json")
+
+    def test_wrong_schema_rejected(self, fig11_graph):
+        data = json.loads(to_json(fig11_graph))
+        data["schema"] = 999
+        with pytest.raises(GraphError, match="schema"):
+            from_json(json.dumps(data))
+
+    def test_dangling_edge_index_rejected(self, fig11_graph):
+        data = json.loads(to_json(fig11_graph))
+        data["edges"].append([0, 10**6])
+        with pytest.raises(GraphError):
+            from_json(json.dumps(data))
+
+    def test_unknown_node_type_rejected(self, fig11_graph):
+        data = json.loads(to_json(fig11_graph))
+        data["nodes"][0]["type"] = "QUANTUM_SOLVE"
+        with pytest.raises(GraphError):
+            from_json(json.dumps(data))
+
+
+class TestDotExport:
+    def test_dot_document_covers_all_nodes_and_edges(self, fig11_graph):
+        dot = to_dot(fig11_graph)
+        assert dot.startswith("digraph")
+        assert dot.count(" -> ") == fig11_graph.num_edges
+        assert dot.count("[label=") == fig11_graph.num_nodes
+        assert NodeType.CD.value in dot
+
+
+class TestLayoutDecision:
+    def test_compact_wins_at_paper_scale(self):
+        decision = choose_s_matrix_layout(k=15, b=15)
+        assert decision.chosen == "compact-si-sc"
+        assert decision.words == decision.candidates["compact-si-sc"]
+        assert decision.words == min(decision.candidates.values())
+        assert 0.0 < decision.saving_vs_dense < 1.0
+        assert 0.0 < decision.saving_vs_csr < 1.0
+
+    def test_candidate_table_is_complete(self):
+        decision = choose_s_matrix_layout(k=15, b=15)
+        assert set(decision.candidates) == {
+            "dense",
+            "symmetric",
+            "csr-symmetric",
+            "compact-si-sc",
+        }
+
+    def test_buffer_words_matches_compact_candidate(self):
+        decision = choose_s_matrix_layout(k=15, b=15)
+        assert s_matrix_buffer_words(15, 15) == decision.candidates["compact-si-sc"]

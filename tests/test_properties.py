@@ -4,23 +4,26 @@ Deeper invariants spanning modules: marginalization produces PSD priors
 on randomized problems, the estimator is deterministic, degenerate
 windows are survived, and the optimizer's feasibility contract holds
 across random specs.
+
+All randomized inputs come from :mod:`repro.testing.strategies`; example
+counts are governed by the named Hypothesis profile loaded in
+``tests/conftest.py`` (``dev`` locally, ``ci`` in CI) rather than
+per-test ``settings``.
 """
 
 import numpy as np
-import pytest
 from dataclasses import replace
-from hypothesis import given, settings
-from hypothesis import strategies as st
+from hypothesis import given
 
 from repro.errors import InfeasibleDesignError
 from repro.hw import DEFAULT_RESOURCE_MODEL
 from repro.synth import DesignSpec, exhaustive_search
+from repro.testing.strategies import design_specs, seeds
 from tests.test_slam_marginalization import three_frame_problem
 
 
 class TestMarginalizationProperties:
-    @given(st.integers(min_value=0, max_value=500))
-    @settings(max_examples=15, deadline=None)
+    @given(seeds())
     def test_prior_always_psd(self, seed):
         """Any marginalization of a well-posed window yields a positive
         semi-definite prior (otherwise later windows become indefinite)."""
@@ -32,8 +35,7 @@ class TestMarginalizationProperties:
         eigvals = np.linalg.eigvalsh(result.prior.hp)
         assert eigvals.min() >= -1e-8
 
-    @given(st.integers(min_value=0, max_value=500))
-    @settings(max_examples=10, deadline=None)
+    @given(seeds())
     def test_prior_symmetric(self, seed):
         from repro.slam.marginalization import marginalize_window
 
@@ -87,17 +89,10 @@ class TestDegenerateWindows:
 
 
 class TestOptimizerContract:
-    @given(
-        st.floats(min_value=18.0, max_value=120.0),
-        st.floats(min_value=0.5, max_value=1.0),
-    )
-    @settings(max_examples=20, deadline=None)
-    def test_feasible_or_explicit_infeasible(self, budget_ms, resource_budget):
+    @given(design_specs())
+    def test_feasible_or_explicit_infeasible(self, spec):
         """Every solve either returns a design meeting all constraints or
         raises InfeasibleDesignError — never a silently-violating design."""
-        spec = DesignSpec(
-            latency_budget_s=budget_ms / 1e3, resource_budget=resource_budget
-        )
         try:
             outcome = exhaustive_search(spec)
         except InfeasibleDesignError:
@@ -106,14 +101,13 @@ class TestOptimizerContract:
         utilization = DEFAULT_RESOURCE_MODEL.utilization(
             outcome.config, spec.platform
         )
-        assert all(u <= resource_budget + 1e-12 for u in utilization.values())
+        assert all(u <= spec.resource_budget + 1e-12 for u in utilization.values())
 
-    @given(st.floats(min_value=20.0, max_value=100.0))
-    @settings(max_examples=15, deadline=None)
-    def test_power_monotone_in_budget(self, budget_ms):
+    @given(design_specs(min_budget_ms=20.0, max_budget_ms=100.0, min_resource_budget=1.0))
+    def test_power_monotone_in_budget(self, spec):
         """Loosening the latency budget never increases optimal power."""
-        tight = exhaustive_search(DesignSpec(latency_budget_s=budget_ms / 1e3))
+        tight = exhaustive_search(DesignSpec(latency_budget_s=spec.latency_budget_s))
         loose = exhaustive_search(
-            DesignSpec(latency_budget_s=(budget_ms + 10.0) / 1e3)
+            DesignSpec(latency_budget_s=spec.latency_budget_s + 10.0 / 1e3)
         )
         assert loose.power_w <= tight.power_w + 1e-12

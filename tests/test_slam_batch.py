@@ -13,93 +13,20 @@ import pytest
 
 from repro.data import make_euroc_sequence
 from repro.errors import SolverError
-from repro.geometry import SE3, NavState
+from repro.geometry import SE3
 from repro.geometry.camera import PinholeCamera
 from repro.geometry.se3 import transform_points_batch, transform_to_body_batch
 from repro.geometry.so3 import hat, hat_batch, so3_exp
-from repro.imu import ImuPreintegration
 from repro.slam import EstimatorConfig, SlidingWindowEstimator
 from repro.slam.batch import VisualFactorBatch, linearize_visual_batch
 from repro.slam.nls import LMConfig, levenberg_marquardt
 from repro.slam.problem import WindowProblem
-from repro.slam.residuals import ImuFactor, VisualFactor, make_pose_anchor_prior
+from repro.testing.workloads import make_random_window as random_window
 
 # The batched kernels reorder floating-point accumulation only at the
 # BLAS/einsum level; measured deviations are ~1e-12 absolute on blocks of
 # magnitude 1e7, far inside the ISSUE's atol=1e-10 budget.
 TOL = dict(rtol=1e-12, atol=1e-10)
-
-
-def random_window(
-    seed: int,
-    num_keyframes: int = 4,
-    num_features: int = 12,
-    huber_delta: float | None = None,
-    lift_last_keyframe: float = 0.0,
-    backend: str = "batched",
-) -> WindowProblem:
-    """A randomized window with rotated keyframes and noisy pixels.
-
-    ``lift_last_keyframe`` pushes the final keyframe down the optical
-    axis so features shallower than the lift land behind its camera —
-    the culled-observation regime the boolean mask must reproduce.
-    """
-    rng = np.random.default_rng(seed)
-    camera = PinholeCamera()
-    states: dict[int, NavState] = {}
-    for k in range(num_keyframes):
-        rotation = so3_exp(rng.normal(scale=0.03, size=3))
-        position = np.array([0.45 * k, 0.0, 0.0]) + rng.normal(scale=0.02, size=3)
-        if k == num_keyframes - 1:
-            position[2] += lift_last_keyframe
-        states[k] = NavState(
-            pose=SE3(rotation, position),
-            velocity=np.array([0.45 / 0.2, 0.0, 0.0]) + rng.normal(scale=0.05, size=3),
-        )
-
-    factors: list[VisualFactor] = []
-    inv_depths: dict[int, float] = {}
-    for fid in range(num_features):
-        anchor = int(rng.integers(0, num_keyframes - 1))
-        bearing = np.array([rng.uniform(-0.4, 0.4), rng.uniform(-0.3, 0.3), 1.0])
-        depth = rng.uniform(2.5, 9.0)
-        observed = 0
-        for target in range(anchor + 1, num_keyframes):
-            pixel = np.array(
-                [rng.uniform(0.0, camera.width), rng.uniform(0.0, camera.height)]
-            )
-            factors.append(
-                VisualFactor(
-                    fid,
-                    anchor,
-                    target,
-                    bearing,
-                    pixel,
-                    weight=float(rng.uniform(0.5, 2.0)),
-                )
-            )
-            observed += 1
-        if observed:
-            inv_depths[fid] = float(1.0 / depth)
-    factors = [f for f in factors if f.feature_id in inv_depths]
-
-    imu_factors = []
-    for k in range(1, num_keyframes):
-        pre = ImuPreintegration()
-        for _ in range(40):
-            pre.integrate(np.zeros(3), np.array([0.0, 0.0, 9.81]), 0.005, 1e-3, 1e-2)
-        imu_factors.append(ImuFactor(k - 1, k, pre))
-
-    return WindowProblem(
-        camera=camera,
-        states=states,
-        inv_depths=inv_depths,
-        visual_factors=factors,
-        imu_factors=imu_factors,
-        priors=[make_pose_anchor_prior(0, states[0])],
-        huber_delta=huber_delta,
-        backend=backend,
-    )
 
 
 def both_backends(problem: WindowProblem) -> tuple[WindowProblem, WindowProblem]:

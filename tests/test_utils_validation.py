@@ -1,0 +1,95 @@
+"""The argument-validation helpers of :mod:`repro.utils.validation`.
+
+Each helper gets its pass path (value returned, normalized) and its fail
+path (typed exception whose message names the offending argument).
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.utils.validation import (
+    check_finite,
+    check_positive,
+    check_positive_int,
+    check_shape,
+    check_square,
+    check_symmetric,
+)
+
+
+class TestCheckPositive:
+    def test_returns_float(self):
+        assert check_positive("x", 3) == 3.0
+        assert isinstance(check_positive("x", 3), float)
+
+    @pytest.mark.parametrize("bad", [0.0, -1.5, float("nan"), float("inf")])
+    def test_rejects_nonpositive_and_nonfinite(self, bad):
+        with pytest.raises(ConfigurationError, match="clock_hz"):
+            check_positive("clock_hz", bad)
+
+
+class TestCheckPositiveInt:
+    def test_accepts_python_and_numpy_ints(self):
+        assert check_positive_int("n", 4) == 4
+        result = check_positive_int("n", np.int64(4))
+        assert result == 4 and isinstance(result, int)
+
+    @pytest.mark.parametrize("bad", [0, -3])
+    def test_rejects_less_than_one(self, bad):
+        with pytest.raises(ConfigurationError, match="window_size"):
+            check_positive_int("window_size", bad)
+
+    @pytest.mark.parametrize("bad", [1.0, "2", True])
+    def test_rejects_non_integers(self, bad):
+        with pytest.raises(ConfigurationError, match="window_size"):
+            check_positive_int("window_size", bad)
+
+
+class TestCheckFinite:
+    def test_returns_float_array(self):
+        out = check_finite("residual", [1, 2, 3])
+        assert out.dtype == np.float64
+        np.testing.assert_array_equal(out, [1.0, 2.0, 3.0])
+
+    @pytest.mark.parametrize("bad", [[1.0, np.nan], [np.inf, 0.0]])
+    def test_rejects_non_finite(self, bad):
+        with pytest.raises(ValueError, match="residual"):
+            check_finite("residual", bad)
+
+
+class TestCheckShape:
+    def test_pass(self):
+        out = check_shape("pixel", [1, 2], (2,))
+        assert out.shape == (2,)
+
+    def test_fail_names_argument_and_shapes(self):
+        with pytest.raises(ValueError, match=r"pixel.*\(2,\).*\(3,\)"):
+            check_shape("pixel", [1, 2, 3], (2,))
+
+
+class TestCheckSquare:
+    def test_pass(self):
+        assert check_square("hessian", np.eye(3)).shape == (3, 3)
+
+    @pytest.mark.parametrize("bad", [np.zeros((2, 3)), np.zeros(4), np.zeros((2, 2, 2))])
+    def test_rejects_non_square(self, bad):
+        with pytest.raises(ValueError, match="hessian"):
+            check_square("hessian", bad)
+
+
+class TestCheckSymmetric:
+    def test_pass_within_tolerance(self):
+        matrix = np.eye(2) + np.array([[0.0, 1e-10], [0.0, 0.0]])
+        out = check_symmetric("info", matrix)
+        np.testing.assert_array_equal(out, matrix)
+
+    def test_rejects_asymmetric(self):
+        with pytest.raises(ValueError, match="info"):
+            check_symmetric("info", np.array([[1.0, 2.0], [0.0, 1.0]]))
+
+    def test_custom_tolerance(self):
+        matrix = np.eye(2) + np.array([[0.0, 1e-5], [0.0, 0.0]])
+        with pytest.raises(ValueError, match="info"):
+            check_symmetric("info", matrix)
+        check_symmetric("info", matrix, tol=1e-4)
