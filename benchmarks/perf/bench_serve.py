@@ -1,0 +1,180 @@
+#!/usr/bin/env python
+"""Serving-tier benchmark: throughput scaling across the accelerator pool.
+
+Runs the same seeded open-loop workload against pools of 1, 2, and 4
+simulated accelerator instances and reports, per pool size, the served
+throughput (virtual windows/s), latency percentiles, queue behaviour,
+shed/degraded counts, and instance utilization — plus the wall-clock
+cost of the simulation itself. Writes ``BENCH_serve.json``.
+
+Usage (from the repo root)::
+
+    PYTHONPATH=src python benchmarks/perf/bench_serve.py
+    PYTHONPATH=src python benchmarks/perf/bench_serve.py \
+        --sessions 12 --rate 30 --duration 3 --output /tmp/bench.json
+
+``scaling_1_to_4`` is the acceptance number: served-throughput ratio of
+the 4-instance pool over the 1-instance pool on a saturating workload.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.engine import Engine  # noqa: E402
+from repro.serve import LoadProfile, LocalizationService  # noqa: E402
+
+
+def base_profile(args: argparse.Namespace) -> LoadProfile:
+    """A burst workload that saturates every pool size under test.
+
+    Arrivals come fast enough that the whole recording of every session
+    is offered within a fraction of a second; admission control is
+    opened wide (no shedding, no degradation) so each pool size serves
+    the *same* fixed set of windows and throughput = capacity.
+    """
+    return LoadProfile(
+        name="bench-serve",
+        description="throughput-scaling workload for bench_serve.py",
+        num_sessions=args.sessions,
+        num_instances=1,
+        arrival="poisson",
+        rate_hz=args.rate,
+        duration_s=args.duration,
+        sequence_duration_s=args.sequence_duration,
+        deadline_s=0.25,
+        # Depth can never exceed num_sessions (single-inflight rule), so
+        # max_queue == num_sessions disables admission shedding and
+        # backpressure == max_queue disables degradation.
+        max_queue=args.sessions,
+        backpressure=args.sessions,
+        max_pending_per_session=64,
+        batch_size=4,
+        seed=args.seed,
+    )
+
+
+def bench_pool(profile: LoadProfile, num_instances: int) -> dict:
+    """One pool size, fresh engine (memo shared within the run only)."""
+    run_profile = dataclasses.replace(profile, num_instances=num_instances)
+    # An in-process engine without disk keeps pool sizes independent of
+    # each other and of any cache state on the machine.
+    service = LocalizationService(run_profile, engine=Engine(use_disk=False))
+    report = service.run()
+    totals = report.metrics["totals"]
+    return {
+        "num_instances": num_instances,
+        "throughput_wps": totals["throughput_wps"],
+        "windows_served": totals["windows_served"],
+        "windows_shed": totals["windows_shed"],
+        "windows_degraded": totals["windows_degraded"],
+        "deadline_misses": totals["deadline_misses"],
+        "errors": totals["errors"],
+        "makespan_s": totals["makespan_s"],
+        "latency_p50_ms": report.metrics["latency_ms"]["p50_ms"],
+        "latency_p99_ms": report.metrics["latency_ms"]["p99_ms"],
+        "queue_depth_max": report.metrics["queue"]["depth_max"],
+        "mean_batch_occupancy": report.metrics["batches"]["mean_occupancy"],
+        "utilization": [
+            instance["utilization"] for instance in report.metrics["instances"]
+        ],
+        "wall_seconds": report.wall_seconds,
+    }
+
+
+def run_benchmark(args: argparse.Namespace) -> dict:
+    profile = base_profile(args)
+    pools = [bench_pool(profile, n) for n in (1, 2, 4)]
+    by_size = {p["num_instances"]: p for p in pools}
+    base = by_size[1]["throughput_wps"]
+    return {
+        "benchmark": "serve-throughput-scaling",
+        "workload": {
+            "num_sessions": profile.num_sessions,
+            "rate_hz": profile.rate_hz,
+            "duration_s": profile.duration_s,
+            "sequence_duration_s": profile.sequence_duration_s,
+            "seed": profile.seed,
+        },
+        "pools": pools,
+        "scaling_1_to_2": by_size[2]["throughput_wps"] / base if base else 0.0,
+        "scaling_1_to_4": by_size[4]["throughput_wps"] / base if base else 0.0,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--sessions", type=int, default=16)
+    parser.add_argument("--rate", type=float, default=60.0)
+    parser.add_argument("--duration", type=float, default=1.5)
+    parser.add_argument("--sequence-duration", type=float, default=4.0)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=Path("BENCH_serve.json"),
+        help="where to write the JSON report",
+    )
+    parser.add_argument(
+        "--min-scaling",
+        type=float,
+        default=None,
+        help="exit non-zero if scaling_1_to_4 falls below this",
+    )
+    parser.add_argument(
+        "--max-p99-ms",
+        type=float,
+        default=None,
+        help="exit non-zero if the 4-instance pool's p99 exceeds this",
+    )
+    parser.add_argument(
+        "--require-zero-errors",
+        action="store_true",
+        help="exit non-zero if any pool recorded a serve error",
+    )
+    args = parser.parse_args()
+
+    report = run_benchmark(args)
+    args.output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+
+    for pool in report["pools"]:
+        print(
+            f"instances {pool['num_instances']}: "
+            f"{pool['throughput_wps']:8.1f} windows/s  "
+            f"p99 {pool['latency_p99_ms']:7.2f} ms  "
+            f"shed {pool['windows_shed']:4d}  "
+            f"errors {pool['errors']}  "
+            f"(wall {pool['wall_seconds']:.1f} s)"
+        )
+    print(
+        f"scaling 1->2: {report['scaling_1_to_2']:.2f}x   "
+        f"1->4: {report['scaling_1_to_4']:.2f}x"
+    )
+    print(f"report -> {args.output}")
+
+    failed = []
+    if args.min_scaling is not None and report["scaling_1_to_4"] < args.min_scaling:
+        failed.append(
+            f"scaling_1_to_4 {report['scaling_1_to_4']:.2f} < {args.min_scaling}"
+        )
+    four = next(p for p in report["pools"] if p["num_instances"] == 4)
+    if args.max_p99_ms is not None and four["latency_p99_ms"] > args.max_p99_ms:
+        failed.append(f"p99 {four['latency_p99_ms']:.2f} ms > {args.max_p99_ms}")
+    if args.require_zero_errors and any(p["errors"] for p in report["pools"]):
+        failed.append("serve errors recorded")
+    if failed:
+        print("FAILED: " + "; ".join(failed), file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

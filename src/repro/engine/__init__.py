@@ -26,7 +26,7 @@ from repro.engine.engine import (
     configure,
     get_engine,
 )
-from repro.engine.cache import ArtifactCache, CacheStats
+from repro.engine.cache import ArtifactCache, CacheCounters, CacheStats
 from repro.engine.keys import artifact_key, config_token
 from repro.engine.stage import Stage
 from repro.engine.stages import (
@@ -49,6 +49,7 @@ from repro.engine.stages import (
 __all__ = [
     "Artifact",
     "ArtifactCache",
+    "CacheCounters",
     "CacheStats",
     "DEFAULT_CACHE_DIR",
     "Engine",

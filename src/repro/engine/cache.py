@@ -24,6 +24,7 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import threading
 import zipfile
 import zlib
 from dataclasses import dataclass, field
@@ -32,6 +33,51 @@ from pathlib import Path
 import numpy as np
 
 _META_KEY = "__engine_meta__"
+
+
+@dataclass
+class CacheCounters:
+    """Blob-level hit/miss accounting kept by :class:`ArtifactCache`.
+
+    ``hits`` and ``misses`` count :meth:`ArtifactCache.load` outcomes;
+    ``puts`` counts :meth:`ArtifactCache.store` calls;
+    ``corrupt_blob_misses`` and ``stale_misses`` break the misses down
+    by cause (an unreadable blob vs a stage-version mismatch — both are
+    also counted in ``misses``). Increments are lock-protected so
+    concurrent engine workers and serve sessions can share one cache.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    corrupt_blob_misses: int = 0
+    stale_misses: int = 0
+
+    def __post_init__(self) -> None:
+        self._lock = threading.Lock()
+
+    def record(self, *events: str) -> None:
+        with self._lock:
+            for event in events:
+                setattr(self, event, getattr(self, event) + 1)
+
+    def as_dict(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "puts": self.puts,
+                "corrupt_blob_misses": self.corrupt_blob_misses,
+                "stale_misses": self.stale_misses,
+            }
+
+    def summary(self) -> str:
+        d = self.as_dict()
+        return (
+            f"{d['hits']} blob hits, {d['misses']} misses "
+            f"({d['corrupt_blob_misses']} corrupt, {d['stale_misses']} stale), "
+            f"{d['puts']} puts"
+        )
 
 
 @dataclass
@@ -63,6 +109,7 @@ class ArtifactCache:
 
     def __init__(self, cache_dir: str | Path) -> None:
         self.cache_dir = Path(cache_dir)
+        self.counters = CacheCounters()
 
     def path_for(self, stage_name: str, key: str) -> Path:
         return self.cache_dir / stage_name / f"{key}.npz"
@@ -71,15 +118,20 @@ class ArtifactCache:
         """Return ``(arrays, meta)`` or ``None`` on miss/stale/corrupt."""
         path = self.path_for(stage_name, key)
         if not path.exists():
+            self.counters.record("misses")
             return None
         try:
             with np.load(path) as data:
                 engine_meta = json.loads(bytes(np.asarray(data[_META_KEY])).decode())
                 if engine_meta.get("stage") != stage_name:
+                    self.counters.record("misses")
                     return None
                 if engine_meta.get("version") != stage_version:
-                    return None  # stale: stage logic changed since this blob
+                    # Stale: stage logic changed since this blob.
+                    self.counters.record("misses", "stale_misses")
+                    return None
                 arrays = {k: data[k] for k in data.files if k != _META_KEY}
+            self.counters.record("hits")
             return arrays, engine_meta.get("codec_meta", {})
         except (
             OSError,
@@ -92,6 +144,7 @@ class ArtifactCache:
         ):
             # Unreadable/corrupt blob (truncated zip, flipped bytes,
             # bad JSON, ...): recompute rather than fail.
+            self.counters.record("misses", "corrupt_blob_misses")
             return None
 
     def store(
@@ -127,4 +180,5 @@ class ArtifactCache:
             except OSError:
                 pass
             raise
+        self.counters.record("puts")
         return path

@@ -31,7 +31,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any
 
-from repro.engine.cache import ArtifactCache, CacheStats
+from repro.engine.cache import ArtifactCache, CacheCounters, CacheStats
 from repro.engine.keys import artifact_key
 from repro.engine.stage import Stage
 
@@ -153,9 +153,19 @@ class Engine:
     # Introspection
     # ------------------------------------------------------------------
 
+    def cache_counters(self) -> dict[str, int]:
+        """Blob-level disk-cache counters (all zero when disk is off)."""
+        if self.cache is None:
+            return CacheCounters().as_dict()
+        return self.cache.counters.as_dict()
+
     def stats_line(self) -> str:
-        location = self.cache.cache_dir if self.cache is not None else "disabled"
-        return f"[engine] cache: {self.stats.summary()} (disk: {location})"
+        if self.cache is None:
+            return f"[engine] cache: {self.stats.summary()} (disk: disabled)"
+        return (
+            f"[engine] cache: {self.stats.summary()} "
+            f"(disk: {self.cache.cache_dir}; {self.cache.counters.summary()})"
+        )
 
     def _key_lock(self, key: str) -> threading.Lock:
         with self._registry_lock:

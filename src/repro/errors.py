@@ -40,3 +40,14 @@ class DataError(ReproError):
 
 class SolverError(ReproError):
     """A numerical solver failed to make progress (singular system, ...)."""
+
+
+class ServeError(ReproError):
+    """The serving tier violated one of its invariants.
+
+    Raised for internal contract breaks in :mod:`repro.serve` (a session
+    stepped out of order, a scheduler queue overflow that admission
+    control should have prevented, ...). Expected overload behaviour —
+    shedding and degrading — is *not* an error and is reported through
+    telemetry counters instead.
+    """

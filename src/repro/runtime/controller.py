@@ -38,7 +38,20 @@ class WindowDecision:
 
 @dataclass
 class RuntimeController:
-    """Drives the accelerator's dynamic re-optimization."""
+    """Drives the accelerator's dynamic re-optimization.
+
+    Concurrency contract (the multi-session serving tier relies on it):
+    the lookup tables — ``table`` (:class:`IterationTable`) and
+    ``reconfig`` (:class:`ReconfigurationTable`) — are frozen dataclasses
+    solved offline, so one memoized instance of each is safely **shared
+    read-only** across every concurrent session. The *mutable* state —
+    the 2-bit saturating counter, the active gated configuration, and
+    the decision log — is per-controller, so each session must own its
+    own ``RuntimeController`` (see :meth:`for_session`). A controller
+    instance itself is single-session: it is not internally locked, and
+    interleaving two robots' feature streams through one counter would
+    cross-contaminate their hysteresis state.
+    """
 
     table: IterationTable
     reconfig: ReconfigurationTable
@@ -50,19 +63,50 @@ class RuntimeController:
         self._counter = TwoBitSaturatingCounter(initial=MAX_ITERATIONS)
         self._active = self.reconfig.static_config
 
+    def for_session(self) -> "RuntimeController":
+        """A fresh controller sharing this one's read-only tables.
+
+        The returned instance has its own saturating counter, active
+        configuration, and decision log — the pattern for serving many
+        robots against one offline-solved memo.
+        """
+        return RuntimeController(
+            table=self.table,
+            reconfig=self.reconfig,
+            platform=self.platform,
+            power_model=self.power_model,
+        )
+
     def iteration_policy(self, feature_count: int) -> int:
         """Adapter for the estimator's ``iteration_policy`` hook: applies
         table lookup + saturating-counter smoothing."""
         proposal = self.table.lookup(feature_count)
         return self._counter.update(proposal)
 
-    def process_window(self, stats: WindowStats) -> WindowDecision:
-        """Full per-window decision + energy accounting."""
-        proposal = self.table.lookup(stats.num_features)
+    def decide(
+        self, feature_count: int, degrade: int = 0
+    ) -> tuple[int, HardwareConfig, bool]:
+        """Pre-optimization decision for one window.
+
+        Returns ``(applied_iterations, gated_config, reconfigured)``.
+        ``degrade`` drops that many NLS iterations off the applied count
+        (floored at 1) — the serving tier's backpressure knob. The
+        saturating counter is always fed the *undegraded* proposal, so a
+        transient overload does not pollute the hysteresis state.
+        """
+        proposal = self.table.lookup(feature_count)
         applied = self._counter.update(proposal)
+        if degrade > 0:
+            applied = max(1, applied - degrade)
         config = self.reconfig.lookup(applied)
         reconfigured = config != self._active
         self._active = config
+        return applied, config, reconfigured
+
+    def process_window(self, stats: WindowStats) -> WindowDecision:
+        """Full per-window decision + energy accounting."""
+        proposal = self.table.lookup(stats.num_features)
+        applied, config, reconfigured = self.decide(stats.num_features)
 
         seconds = window_latency_seconds(stats, config, applied, self.platform)
         power = self.reconfig.gated_power(applied)

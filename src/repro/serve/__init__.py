@@ -1,0 +1,67 @@
+"""``repro.serve`` — a multi-session localization service.
+
+The serving tier runs many concurrent SLAM sessions (robots) against a
+pool of simulated accelerator instances, with cross-session
+micro-batching, deadline-aware scheduling, admission control that
+degrades or sheds under overload, and deterministic virtual-time
+telemetry exported as ``SERVE_METRICS.json``. See ``docs/serving.md``.
+
+Typical use::
+
+    from repro.serve import resolve_profile, run_profile
+
+    report = run_profile(resolve_profile("smoke"))
+    print(report.render())
+    report.write_metrics("SERVE_METRICS.json")
+"""
+
+from repro.serve.accelerator import (
+    FIDELITIES,
+    AcceleratorInstance,
+    ServiceCharge,
+    make_pool,
+)
+from repro.serve.loadgen import (
+    PROFILES,
+    LoadProfile,
+    available_profiles,
+    open_loop_arrivals,
+    resolve_profile,
+    session_sequence_config,
+)
+from repro.serve.scheduler import Admission, Scheduler
+from repro.serve.service import LocalizationService, ServeReport, run_profile
+from repro.serve.session import Session, SessionState, WindowRequest
+from repro.serve.telemetry import (
+    METRICS_SCHEMA_VERSION,
+    LatencyHistogram,
+    SessionMetrics,
+    Telemetry,
+    export_metrics,
+)
+
+__all__ = [
+    "AcceleratorInstance",
+    "Admission",
+    "FIDELITIES",
+    "LatencyHistogram",
+    "LoadProfile",
+    "LocalizationService",
+    "METRICS_SCHEMA_VERSION",
+    "PROFILES",
+    "Scheduler",
+    "ServeReport",
+    "ServiceCharge",
+    "Session",
+    "SessionMetrics",
+    "SessionState",
+    "Telemetry",
+    "WindowRequest",
+    "available_profiles",
+    "export_metrics",
+    "make_pool",
+    "open_loop_arrivals",
+    "resolve_profile",
+    "run_profile",
+    "session_sequence_config",
+]

@@ -1,0 +1,122 @@
+"""CLI: ``python -m repro.serve [profile]`` runs the serving tier.
+
+Runs one named load profile (seeded, bit-deterministic) against a pool
+of simulated accelerator instances and writes the virtual-time metrics
+to ``SERVE_METRICS.json``. Profile knobs — fleet shape, horizon, seed —
+can be overridden from the command line; the overridden profile is
+recorded verbatim in the metrics file, so a run is always replayable
+from its own output.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import os
+import sys
+
+from repro.engine import DEFAULT_CACHE_DIR, configure
+from repro.errors import ConfigurationError, ServeError
+from repro.serve.accelerator import FIDELITIES
+from repro.serve.loadgen import available_profiles, resolve_profile
+from repro.serve.service import LocalizationService
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Serve many localization sessions on an accelerator pool.",
+    )
+    parser.add_argument(
+        "profile",
+        nargs="?",
+        default="smoke",
+        help="load profile to run (default: smoke; see --list)",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="print registered load profiles and exit"
+    )
+    parser.add_argument(
+        "--sessions", type=int, metavar="N", help="override the session count"
+    )
+    parser.add_argument(
+        "--instances", type=int, metavar="N", help="override the accelerator pool size"
+    )
+    parser.add_argument(
+        "--duration",
+        type=float,
+        metavar="S",
+        help="override the virtual-time arrival horizon (seconds)",
+    )
+    parser.add_argument(
+        "--batch-size", type=int, metavar="N", help="override the micro-batch cap"
+    )
+    parser.add_argument("--seed", type=int, metavar="N", help="override the seed")
+    parser.add_argument(
+        "--fidelity",
+        choices=FIDELITIES,
+        default="analytical",
+        help="service-time model: closed-form latency or cycle-level replay",
+    )
+    parser.add_argument(
+        "--output",
+        default="SERVE_METRICS.json",
+        metavar="PATH",
+        help="metrics file to write (default: SERVE_METRICS.json)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=str(DEFAULT_CACHE_DIR),
+        metavar="PATH",
+        help=f"artifact cache directory (default: {DEFAULT_CACHE_DIR})",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the on-disk artifact cache (in-process memo stays on)",
+    )
+    return parser
+
+
+def _apply_overrides(profile, args):
+    overrides = {
+        "num_sessions": args.sessions,
+        "num_instances": args.instances,
+        "duration_s": args.duration,
+        "batch_size": args.batch_size,
+        "seed": args.seed,
+    }
+    overrides = {k: v for k, v in overrides.items() if v is not None}
+    return dataclasses.replace(profile, **overrides) if overrides else profile
+
+
+def main(argv: list[str]) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list:
+        for name in available_profiles():
+            print(name)
+        return 0
+
+    # REPRO_NO_CACHE is the environment analogue of --no-cache (either
+    # disables the disk cache; metrics are identical both ways).
+    env_no_cache = os.environ.get("REPRO_NO_CACHE", "").lower() in ("1", "true", "yes")
+    engine = configure(
+        cache_dir=args.cache_dir, use_disk=not (args.no_cache or env_no_cache)
+    )
+    try:
+        profile = _apply_overrides(resolve_profile(args.profile), args)
+        report = LocalizationService(
+            profile, engine=engine, fidelity=args.fidelity
+        ).run()
+    except (ConfigurationError, ServeError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(report.render())
+    path = report.write_metrics(args.output)
+    print(f"metrics -> {path}")
+    print(report.cache_line)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,132 @@
+"""Simulated accelerator instances: real numerics, modeled service time.
+
+Each :class:`AcceleratorInstance` stands in for one synthesized FPGA
+(one Tbl. 2 design). Executing a window does two things:
+
+1. runs the *actual* window optimization (the estimator's NLS solve —
+   bit-identical to what the modeled hardware computes, per the
+   conformance contract between ``hw.sim.functional`` and the software
+   solver), on a worker thread so a fleet of instances uses the host's
+   cores; and
+2. charges *simulated* service time in virtual seconds: the analytical
+   latency model (Equ. 13-15) for the gated configuration and applied
+   iteration count, plus the host-link transfer for the window payload
+   (and the 3 config bytes when the decision changed).
+
+``fidelity="functional"`` additionally routes one NLS iteration through
+:func:`repro.hw.sim.functional.run_iteration_functional` so the
+per-iteration cycle charge comes from the measured Evaluate/Update
+Cholesky timeline instead of the closed-form Equ. 7-8 — slower, but it
+ties the serving tier to the cycle-level model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.data.stats import WindowStats
+from repro.errors import ConfigurationError
+from repro.hw.config import HardwareConfig
+from repro.hw.fpga import FpgaPlatform, ZC706
+from repro.hw.latency import marginalization_latency, nls_iteration_latency
+from repro.runtime.host import HostLink, window_payload_bytes
+
+FIDELITIES = ("analytical", "functional")
+
+
+@dataclass(frozen=True)
+class ServiceCharge:
+    """One window's simulated occupancy of an accelerator instance."""
+
+    compute_s: float  # Equ. 13-15 (or measured-Cholesky) compute time
+    transfer_s: float  # host-link payload (+3 config bytes if reconfigured)
+
+    @property
+    def total_s(self) -> float:
+        return self.compute_s + self.transfer_s
+
+
+@dataclass
+class AcceleratorInstance:
+    """One simulated accelerator worker in the pool."""
+
+    instance_id: int
+    platform: FpgaPlatform = ZC706
+    link: HostLink = field(default_factory=HostLink)
+    fidelity: str = "analytical"
+    free_at: float = 0.0
+    windows_executed: int = 0
+    busy_seconds: float = 0.0
+    batches: int = 0
+
+    def __post_init__(self) -> None:
+        if self.fidelity not in FIDELITIES:
+            raise ConfigurationError(
+                f"fidelity must be one of {FIDELITIES}, got {self.fidelity!r}"
+            )
+
+    def charge(
+        self,
+        stats: WindowStats,
+        config: HardwareConfig,
+        iterations: int,
+        reconfigured: bool,
+        problem=None,
+    ) -> "ServiceCharge":
+        """Virtual seconds this window occupies the instance."""
+        if self.fidelity == "functional" and problem is not None:
+            from repro.hw.sim.functional import run_iteration_functional
+
+            execution = run_iteration_functional(problem, config, platform=self.platform)
+            compute_cycles = (
+                iterations * execution.cycles + marginalization_latency(stats, config)
+            )
+        else:
+            compute_cycles = iterations * nls_iteration_latency(
+                stats, config
+            ) + marginalization_latency(stats, config)
+        compute = compute_cycles / self.platform.frequency_hz
+        transfer = self.link.transfer_seconds(
+            window_payload_bytes(stats, reconfigured=reconfigured)
+        )
+        return ServiceCharge(compute_s=compute, transfer_s=transfer)
+
+    def occupy(self, start: float, seconds: float) -> float:
+        """Charge ``seconds`` of busy time starting at ``start``; returns
+        the new free-at time."""
+        self.free_at = start + seconds
+        self.busy_seconds += seconds
+        self.windows_executed += 1
+        return self.free_at
+
+    def utilization(self, horizon_s: float) -> float:
+        return self.busy_seconds / horizon_s if horizon_s > 0 else 0.0
+
+    def as_dict(self, horizon_s: float) -> dict:
+        return {
+            "instance_id": self.instance_id,
+            "windows_executed": self.windows_executed,
+            "batches": self.batches,
+            "busy_seconds": self.busy_seconds,
+            "utilization": self.utilization(horizon_s),
+        }
+
+
+def make_pool(
+    num_instances: int,
+    platform: FpgaPlatform = ZC706,
+    link: HostLink | None = None,
+    fidelity: str = "analytical",
+) -> list[AcceleratorInstance]:
+    """A homogeneous pool of ``num_instances`` accelerator instances."""
+    if num_instances < 1:
+        raise ConfigurationError("need at least one accelerator instance")
+    return [
+        AcceleratorInstance(
+            instance_id=i,
+            platform=platform,
+            link=link or HostLink(),
+            fidelity=fidelity,
+        )
+        for i in range(num_instances)
+    ]

@@ -1,0 +1,416 @@
+"""The multi-session localization service: a virtual-time event loop.
+
+The service is a discrete-event simulation over *virtual* seconds.
+Events — window arrivals, batch completions, instances freeing up — live
+in one heap ordered by ``(time, sequence number)``, so the schedule is a
+total order and a seeded run is bit-reproducible. Real work still
+happens: every served window runs the actual sliding-window NLS
+optimization (on a thread pool sized to the accelerator pool, one
+worker per instance), but *when* things happen is decided entirely by
+the analytical hardware latency model, never by wall-clock measurements.
+
+Per event the loop does three things, always in the same order:
+
+1. handle the event (ingest an arrival, complete a window, free an
+   instance);
+2. **pump**: every session that is READY submits its oldest pending
+   window through admission control (shed / degrade / accept);
+3. **dispatch**: every idle instance takes one earliest-deadline-first
+   micro-batch off the queue; the batch's optimizations execute
+   concurrently in wall time while their virtual completion times are
+   laid out back-to-back on the instance.
+
+Sessions never have more than one window in flight (window ``n+1``
+linearizes around ``n``'s estimate), which is also what makes the
+per-session estimator/controller state thread-safe without locks.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+from repro.engine import SEQUENCE, design_reconfiguration, get_engine, named_design
+from repro.errors import ReproError, ServeError
+from repro.runtime.controller import RuntimeController
+from repro.runtime.profiler import IterationTable
+from repro.serve.accelerator import AcceleratorInstance, make_pool
+from repro.serve.loadgen import (
+    LoadProfile,
+    closed_loop_start,
+    open_loop_arrivals,
+    session_sequence_config,
+)
+from repro.serve.scheduler import Admission, Scheduler
+from repro.serve.session import Session, SessionState, WindowRequest
+from repro.serve.telemetry import (
+    METRICS_SCHEMA_VERSION,
+    Telemetry,
+    export_metrics,
+)
+
+_ARRIVAL, _COMPLETE, _FREE = "arrival", "complete", "free"
+
+
+@dataclass
+class ServeReport:
+    """Outcome of one serve run."""
+
+    profile: LoadProfile
+    metrics: dict  # deterministic; exactly what SERVE_METRICS.json holds
+    cache_line: str  # live engine stats (stdout only — disk-state dependent)
+    wall_seconds: float  # stdout only — never part of the metrics file
+
+    def write_metrics(self, path: str | Path) -> Path:
+        return export_metrics(self.metrics, path)
+
+    def render(self) -> str:
+        totals = self.metrics["totals"]
+        latency = self.metrics["latency_ms"]
+        queue = self.metrics["queue"]
+        batches = self.metrics["batches"]
+        lines = [
+            f"== serve: {self.profile.name} ==",
+            (
+                f"sessions {self.profile.num_sessions}  "
+                f"instances {self.profile.num_instances}  "
+                f"arrival {self.profile.arrival}  seed {self.profile.seed}"
+            ),
+            (
+                f"served {totals['windows_served']}  "
+                f"shed {totals['windows_shed']}  "
+                f"degraded {totals['windows_degraded']}  "
+                f"deadline-missed {totals['deadline_misses']}  "
+                f"errors {totals['errors']}"
+            ),
+            (
+                f"latency p50 {latency['p50_ms']:.2f} ms  "
+                f"p95 {latency['p95_ms']:.2f} ms  "
+                f"p99 {latency['p99_ms']:.2f} ms  "
+                f"max {latency['max_ms']:.2f} ms"
+            ),
+            (
+                f"throughput {totals['throughput_wps']:.1f} windows/s over "
+                f"{totals['makespan_s']:.2f} virtual s  "
+                f"(wall {self.wall_seconds:.2f} s)"
+            ),
+            (
+                f"queue depth max {queue['depth_max']}  "
+                f"mean {queue['depth_time_weighted_mean']:.2f}  "
+                f"batch occupancy {batches['mean_occupancy']:.2f}"
+            ),
+            f"energy {totals['energy_j']:.3f} J across the fleet",
+        ]
+        return "\n".join(lines)
+
+
+class LocalizationService:
+    """Runs one :class:`LoadProfile` against a pool of accelerators."""
+
+    def __init__(
+        self,
+        profile: LoadProfile,
+        engine=None,
+        fidelity: str = "analytical",
+    ) -> None:
+        self.profile = profile
+        self.engine = engine if engine is not None else get_engine()
+        self.fidelity = fidelity
+        self._event_seq = 0
+        self._request_seq = 0
+        self._events: list[tuple[float, int, str, int]] = []
+
+    # ------------------------------------------------------------------
+    # Setup
+    # ------------------------------------------------------------------
+
+    def _build(self) -> None:
+        profile = self.profile
+        design = named_design(profile.design, self.engine)
+        reconfig = design_reconfiguration(profile.design, self.engine)
+        table = IterationTable()
+        # One prototype controller holds the shared read-only tables;
+        # every session forks its own counter state from it.
+        prototype = RuntimeController(table=table, reconfig=reconfig)
+        self.static_config = design.config
+        self.reconfig = reconfig
+
+        self.sessions: list[Session] = []
+        for sid in range(profile.num_sessions):
+            sequence = self.engine.run(
+                SEQUENCE, session_sequence_config(profile, sid)
+            )
+            self.sessions.append(
+                Session(
+                    session_id=sid,
+                    sequence=sequence,
+                    controller=prototype.for_session(),
+                    window_size=profile.window_size,
+                    capture_problems=self.fidelity == "functional",
+                )
+            )
+
+        self.pool: list[AcceleratorInstance] = make_pool(
+            profile.num_instances, fidelity=self.fidelity
+        )
+        self.scheduler = Scheduler(
+            max_queue=profile.max_queue,
+            backpressure=profile.backpressure,
+            batch_size=profile.batch_size,
+        )
+        self.telemetry = Telemetry()
+        for session in self.sessions:
+            self.telemetry.session(
+                session.session_id, session.sequence.config.name
+            )
+
+        if profile.arrival == "poisson":
+            for session in self.sessions:
+                for t in open_loop_arrivals(
+                    profile, session.session_id, session.total_windows
+                ):
+                    self._push_event(t, _ARRIVAL, session.session_id)
+        else:
+            for session in self.sessions:
+                if session.total_windows > 0:
+                    self._push_event(
+                        closed_loop_start(profile, session.session_id),
+                        _ARRIVAL,
+                        session.session_id,
+                    )
+
+    def _push_event(self, t: float, kind: str, payload: int) -> None:
+        self._event_seq += 1
+        heapq.heappush(self._events, (t, self._event_seq, kind, payload))
+
+    # ------------------------------------------------------------------
+    # The event loop
+    # ------------------------------------------------------------------
+
+    def run(self) -> ServeReport:
+        started = time.perf_counter()
+        memo_before = self.engine.stats.memory_hits
+        distinct_before = self.engine.stats.computed + self.engine.stats.disk_hits
+        self._build()
+
+        workers = max(1, len(self.pool))
+        with ThreadPoolExecutor(max_workers=workers) as executor:
+            self._executor = executor
+            while self._events:
+                t, _, kind, payload = heapq.heappop(self._events)
+                if kind == _ARRIVAL:
+                    self.sessions[payload].on_arrival(t)
+                elif kind == _COMPLETE:
+                    self._on_complete(t, self.sessions[payload])
+                # _FREE events carry no state change: they exist to wake
+                # the dispatcher at the instant an instance goes idle.
+                self._pump(t)
+                self._dispatch(t)
+            self._executor = None
+
+        for session in self.sessions:
+            session.maybe_drain()
+        # A session may end WAITING with frames remaining (the arrival
+        # horizon closed mid-recording); what must NOT survive the loop
+        # is in-flight work, per-session backlog, or queued requests.
+        stuck = [
+            s.session_id
+            for s in self.sessions
+            if s.state is SessionState.INFLIGHT or s.pending
+        ]
+        if stuck or len(self.scheduler) > 0:
+            raise ServeError(
+                f"serve run ended with live state: sessions {stuck}, "
+                f"queue depth {len(self.scheduler)}"
+            )
+        wall = time.perf_counter() - started
+        metrics = self._metrics(
+            memo_hits=self.engine.stats.memory_hits - memo_before,
+            distinct_artifacts=(
+                self.engine.stats.computed + self.engine.stats.disk_hits
+            )
+            - distinct_before,
+        )
+        return ServeReport(
+            profile=self.profile,
+            metrics=metrics,
+            cache_line=self.engine.stats_line(),
+            wall_seconds=wall,
+        )
+
+    def _on_complete(self, t: float, session: Session) -> None:
+        session.on_complete()
+        profile = self.profile
+        if profile.arrival == "closed":
+            next_t = t + profile.think_time_s
+            if session.frames_remaining and next_t < profile.duration_s:
+                self._push_event(next_t, _ARRIVAL, session.session_id)
+        session.maybe_drain()
+
+    # ------------------------------------------------------------------
+    # Pump: admission control + submission
+    # ------------------------------------------------------------------
+
+    def _pump(self, t: float) -> None:
+        profile = self.profile
+        for session in self.sessions:
+            if session.state is not SessionState.READY:
+                # Backlog trimming below must wait too: frames have to
+                # enter the estimator in order, and an INFLIGHT session
+                # may still have its current frame queued un-ingested.
+                continue
+            metrics = self.telemetry.session(session.session_id)
+            # A robot whose backlog outgrew its bound sheds its oldest
+            # frames first (freshest data is worth the most).
+            while len(session.pending) > profile.max_pending_per_session:
+                frame_id, _ = session.take_pending()
+                session.shed(frame_id)
+                self.scheduler.record_shed()
+                self.telemetry.record_shed(metrics, t)
+            admission = self.scheduler.admit()
+            frame_id, ready_time = session.take_pending()
+            if admission is Admission.SHED:
+                session.shed(frame_id)
+                self.scheduler.record_shed()
+                self.telemetry.record_shed(metrics, t)
+                session.maybe_drain()
+                continue
+            degraded = admission is Admission.DEGRADE
+            iterations, config, reconfigured = session.controller.decide(
+                session.front_end_feature_count(frame_id),
+                degrade=profile.degrade_drop if degraded else 0,
+            )
+            self._request_seq += 1
+            request = WindowRequest(
+                session_id=session.session_id,
+                frame_id=frame_id,
+                ready_time=ready_time,
+                deadline=ready_time + profile.deadline_s,
+                iterations=iterations,
+                config=config,
+                reconfigured=reconfigured,
+                degraded=degraded,
+                seq=self._request_seq,
+            )
+            session.mark_inflight()
+            self.scheduler.push(request)
+            self.telemetry.sample_queue_depth(t, len(self.scheduler))
+
+    # ------------------------------------------------------------------
+    # Dispatch: micro-batches onto free instances
+    # ------------------------------------------------------------------
+
+    def _dispatch(self, t: float) -> None:
+        assignments: list[tuple[AcceleratorInstance, list[WindowRequest]]] = []
+        for instance in self.pool:
+            if instance.free_at > t or len(self.scheduler) == 0:
+                continue
+            batch = self.scheduler.next_batch()
+            if batch:
+                assignments.append((instance, batch))
+        if not assignments:
+            return
+        self.telemetry.sample_queue_depth(t, len(self.scheduler))
+
+        # Execute every job of every batch concurrently in wall time;
+        # virtual-time accounting below consumes results in submission
+        # order, so worker interleaving cannot change the outcome.
+        jobs = [
+            (request, self.sessions[request.session_id])
+            for _, batch in assignments
+            for request in batch
+        ]
+        results = list(
+            self._executor.map(lambda job: self._run_job(*job), jobs)
+        )
+        result_by_seq = {
+            request.seq: outcome for (request, _), outcome in zip(jobs, results)
+        }
+
+        for instance, batch in assignments:
+            self.telemetry.record_batch(len(batch))
+            instance.batches += 1
+            cursor = t
+            for request in batch:
+                session = self.sessions[request.session_id]
+                metrics = self.telemetry.session(session.session_id)
+                outcome = result_by_seq[request.seq]
+                if isinstance(outcome, ReproError):
+                    self.telemetry.errors += 1
+                    session.on_complete()
+                    session.maybe_drain()
+                    continue
+                charge = instance.charge(
+                    outcome.stats,
+                    request.config,
+                    request.iterations,
+                    request.reconfigured,
+                    problem=session.last_problem,
+                )
+                completion = cursor + charge.total_s
+                energy = charge.compute_s * self.reconfig.gated_power(
+                    request.iterations
+                )
+                self.telemetry.record_window(
+                    metrics,
+                    ready_time=request.ready_time,
+                    dispatch_time=t,
+                    completion_time=completion,
+                    deadline=request.deadline,
+                    iterations=request.iterations,
+                    degraded=request.degraded,
+                    reconfigured=request.reconfigured,
+                    energy_j=energy,
+                    drift_m=outcome.newest_position_error,
+                )
+                instance.occupy(cursor, charge.total_s)
+                cursor = completion
+                self._push_event(completion, _COMPLETE, session.session_id)
+            if cursor > t:
+                self._push_event(cursor, _FREE, instance.instance_id)
+
+    @staticmethod
+    def _run_job(request: WindowRequest, session: Session):
+        try:
+            return session.execute(request)
+        except ReproError as error:
+            return error
+
+    # ------------------------------------------------------------------
+    # Metrics assembly
+    # ------------------------------------------------------------------
+
+    def _metrics(self, memo_hits: int, distinct_artifacts: int) -> dict:
+        metrics = self.telemetry.as_dict()
+        horizon = self.telemetry.end_time_s
+        metrics["schema"] = METRICS_SCHEMA_VERSION
+        metrics["profile"] = asdict(self.profile)
+        metrics["fidelity"] = self.fidelity
+        metrics["scheduler"] = self.scheduler.as_dict()
+        metrics["instances"] = [
+            instance.as_dict(horizon) for instance in self.pool
+        ]
+        metrics["design"] = {
+            "name": self.profile.design,
+            "nd": self.static_config.nd,
+            "nm": self.static_config.nm,
+            "s": self.static_config.s,
+        }
+        # Only run-invariant cache numbers belong here: blob-level disk
+        # counters depend on whether a previous run warmed the cache, and
+        # SERVE_METRICS.json must be byte-identical across repeats.
+        metrics["cache"] = {
+            "memo_hits": memo_hits,
+            "distinct_artifacts": distinct_artifacts,
+        }
+        return metrics
+
+
+def run_profile(
+    profile: LoadProfile, engine=None, fidelity: str = "analytical"
+) -> ServeReport:
+    """Convenience wrapper: build the service and run it once."""
+    return LocalizationService(profile, engine=engine, fidelity=fidelity).run()

@@ -1,0 +1,194 @@
+"""One robot's serving session: estimator + runtime controller + backlog.
+
+A :class:`Session` is a small state machine::
+
+    WAITING --arrival--> READY --dispatch--> INFLIGHT --completion--> ...
+       \\                   |                                        /
+        \\                  +--(shed)--> WAITING <------------------+
+         +--frames exhausted--> DRAINED
+
+It owns the per-robot mutable state: a :class:`SlidingWindowEstimator`
+fed keyframe by keyframe, a per-session :class:`RuntimeController`
+(fresh 2-bit counter; the iteration and reconfiguration tables are
+shared read-only across the fleet — see the controller's concurrency
+contract), and the pending backlog of arrived-but-not-yet-submitted
+windows.
+
+Thread-safety model: the service's event loop mutates a session only
+while it is *not* INFLIGHT; while INFLIGHT, exactly one accelerator
+worker thread runs :meth:`execute`. A session therefore never needs a
+lock — the scheduler's single-inflight-window-per-session rule *is* the
+synchronization.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.data.sequences import Sequence
+from repro.errors import ServeError
+from repro.hw.config import HardwareConfig
+from repro.runtime.controller import RuntimeController
+from repro.slam.estimator import (
+    EstimatorConfig,
+    RunResult,
+    SlidingWindowEstimator,
+    WindowResult,
+)
+from repro.slam.nls import LMConfig
+
+
+class SessionState(enum.Enum):
+    WAITING = "waiting"  # no window ready to submit
+    READY = "ready"  # >= 1 pending window, none in flight
+    INFLIGHT = "inflight"  # one window queued or executing
+    DRAINED = "drained"  # recording exhausted
+
+
+@dataclass(frozen=True)
+class WindowRequest:
+    """One window's trip through the scheduler.
+
+    ``seq`` is a global monotone tiebreaker so heap ordering is total
+    and deterministic.
+    """
+
+    session_id: int
+    frame_id: int
+    ready_time: float
+    deadline: float
+    iterations: int
+    config: HardwareConfig
+    reconfigured: bool
+    degraded: bool
+    seq: int
+
+
+@dataclass
+class Session:
+    """Per-robot serving state."""
+
+    session_id: int
+    sequence: Sequence
+    controller: RuntimeController
+    window_size: int = 6
+    # Capture each window's pre-optimization problem (needed only by the
+    # pool's "functional" fidelity, which re-executes one NLS iteration
+    # through the cycle-level hardware path).
+    capture_problems: bool = False
+    estimator: SlidingWindowEstimator = field(init=False)
+    result: RunResult = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.last_problem = None
+        probe = self._capture_problem if self.capture_problems else None
+        self.estimator = SlidingWindowEstimator(
+            EstimatorConfig(
+                window_size=self.window_size,
+                lm=LMConfig(),
+                window_probe=probe,
+                seed=self.session_id,
+            )
+        )
+        self.result = self.estimator.start(self.sequence)
+        # Frame 0 bootstraps the estimator synchronously; windows to
+        # serve are frames 1 .. num_keyframes-1, in order.
+        self.estimator.step(self.sequence, 0, self.result)
+        self.state = SessionState.WAITING
+        self.next_frame = 1
+        self.pending: deque[tuple[int, float]] = deque()  # (frame_id, ready_time)
+
+    @property
+    def total_windows(self) -> int:
+        return max(self.sequence.num_keyframes - 1, 0)
+
+    @property
+    def frames_remaining(self) -> bool:
+        return self.next_frame < self.sequence.num_keyframes
+
+    # ------------------------------------------------------------------
+    # Event-loop side (never runs concurrently with execute())
+    # ------------------------------------------------------------------
+
+    def on_arrival(self, t: float) -> bool:
+        """The front-end produced the next keyframe at virtual time ``t``.
+
+        Returns False when the recording is exhausted.
+        """
+        if not self.frames_remaining:
+            return False
+        self.pending.append((self.next_frame, t))
+        self.next_frame += 1
+        if self.state is SessionState.WAITING:
+            self.state = SessionState.READY
+        return True
+
+    def front_end_feature_count(self, frame_id: int) -> int:
+        """The sensing front-end's load signal for one keyframe — what
+        the runtime controller keys its iteration decision on."""
+        return self.sequence.observations[frame_id].num_features
+
+    def take_pending(self) -> tuple[int, float]:
+        """Pop the oldest pending window for submission/shedding."""
+        if not self.pending:
+            raise ServeError(f"session {self.session_id} has no pending window")
+        frame_id, ready_time = self.pending.popleft()
+        if not self.pending and self.state is SessionState.READY:
+            self.state = SessionState.WAITING
+        return frame_id, ready_time
+
+    def mark_inflight(self) -> None:
+        if self.state is SessionState.INFLIGHT:
+            raise ServeError(
+                f"session {self.session_id} already has a window in flight"
+            )
+        self.state = SessionState.INFLIGHT
+
+    def shed(self, frame_id: int) -> None:
+        """Admission control dropped this window: ingest the keyframe
+        (dead-reckoning keeps the state chain consistent) but skip the
+        accelerator's optimization entirely."""
+        self.estimator.step(self.sequence, frame_id, self.result, skip_optimize=True)
+
+    def on_complete(self) -> None:
+        if self.state is not SessionState.INFLIGHT:
+            raise ServeError(
+                f"session {self.session_id} completed a window while {self.state}"
+            )
+        self.state = SessionState.READY if self.pending else SessionState.WAITING
+        if not self.pending and not self.frames_remaining:
+            self.state = SessionState.DRAINED
+
+    def maybe_drain(self) -> None:
+        """Mark DRAINED once nothing is pending and no frames remain."""
+        if (
+            self.state in (SessionState.WAITING, SessionState.READY)
+            and not self.pending
+            and not self.frames_remaining
+        ):
+            self.state = SessionState.DRAINED
+
+    # ------------------------------------------------------------------
+    # Worker side (runs on an accelerator thread while INFLIGHT)
+    # ------------------------------------------------------------------
+
+    def _capture_problem(self, problem, frame_id) -> None:
+        del frame_id
+        self.last_problem = problem
+
+    def execute(self, request: WindowRequest) -> WindowResult:
+        """Run the window optimization the accelerator would perform."""
+        window = self.estimator.step(
+            self.sequence,
+            request.frame_id,
+            self.result,
+            iteration_cap=request.iterations,
+        )
+        if window is None:
+            raise ServeError(
+                f"session {self.session_id} frame {request.frame_id} "
+                "produced no window result"
+            )
+        return window

@@ -1,0 +1,261 @@
+"""Serve-tier telemetry: latency histograms, queue/batch gauges, drift.
+
+Everything here is driven by *virtual* (simulated) time, so a seeded
+serve run produces bit-identical metrics on every execution — the
+property the determinism tests and the ``SERVE_METRICS.json`` contract
+rely on. Wall-clock numbers (how long the simulation itself took) are
+deliberately kept out of the exported metrics and reported only on
+stdout.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+
+METRICS_SCHEMA_VERSION = 1
+
+# Log-spaced latency bins: 0.05 ms .. ~53 s, 20 bins per decade. Fixed
+# edges (rather than adaptive ones) keep histograms mergeable and the
+# JSON export stable across runs.
+_BIN_FLOOR_S = 5e-5
+_BINS_PER_DECADE = 20
+_NUM_BINS = 120
+
+
+def _bin_index(seconds: float) -> int:
+    if seconds <= _BIN_FLOOR_S:
+        return 0
+    index = int(math.floor(math.log10(seconds / _BIN_FLOOR_S) * _BINS_PER_DECADE)) + 1
+    return min(index, _NUM_BINS - 1)
+
+
+def _bin_upper_edge_s(index: int) -> float:
+    if index == 0:
+        return _BIN_FLOOR_S
+    return _BIN_FLOOR_S * 10.0 ** (index / _BINS_PER_DECADE)
+
+
+class LatencyHistogram:
+    """Fixed-bin log-scale histogram with exact count/mean/max tracking.
+
+    Percentiles are reported as the upper edge of the bin containing the
+    requested rank — a deterministic, merge-friendly estimate whose
+    relative error is bounded by the bin width (~12%).
+    """
+
+    def __init__(self) -> None:
+        self.counts = [0] * _NUM_BINS
+        self.total = 0
+        self.sum_s = 0.0
+        self.max_s = 0.0
+
+    def record(self, seconds: float) -> None:
+        self.counts[_bin_index(seconds)] += 1
+        self.total += 1
+        self.sum_s += seconds
+        self.max_s = max(self.max_s, seconds)
+
+    def percentile(self, q: float) -> float:
+        """Latency (seconds) at quantile ``q`` in [0, 1]."""
+        if self.total == 0:
+            return 0.0
+        rank = math.ceil(q * self.total)
+        seen = 0
+        for index, count in enumerate(self.counts):
+            seen += count
+            if seen >= rank:
+                return min(_bin_upper_edge_s(index), self.max_s)
+        return self.max_s
+
+    @property
+    def mean_s(self) -> float:
+        return self.sum_s / self.total if self.total else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "count": self.total,
+            "mean_ms": self.mean_s * 1e3,
+            "max_ms": self.max_s * 1e3,
+            "p50_ms": self.percentile(0.50) * 1e3,
+            "p95_ms": self.percentile(0.95) * 1e3,
+            "p99_ms": self.percentile(0.99) * 1e3,
+            # Sparse bin dump (index -> count) so two runs can be diffed
+            # bin by bin, not just at the summary percentiles.
+            "bins": {str(i): c for i, c in enumerate(self.counts) if c},
+        }
+
+
+@dataclass
+class SessionMetrics:
+    """Per-session accounting the serve report breaks out."""
+
+    session_id: int
+    sequence: str = ""
+    windows_served: int = 0
+    windows_shed: int = 0
+    windows_degraded: int = 0
+    deadline_misses: int = 0
+    reconfigurations: int = 0
+    iterations_total: int = 0
+    energy_j: float = 0.0
+    drift_sum_m: float = 0.0
+    drift_max_m: float = 0.0
+
+    def record_drift(self, meters: float) -> None:
+        self.drift_sum_m += meters
+        self.drift_max_m = max(self.drift_max_m, meters)
+
+    def as_dict(self) -> dict:
+        served = self.windows_served
+        return {
+            "session_id": self.session_id,
+            "sequence": self.sequence,
+            "windows_served": served,
+            "windows_shed": self.windows_shed,
+            "windows_degraded": self.windows_degraded,
+            "deadline_misses": self.deadline_misses,
+            "reconfigurations": self.reconfigurations,
+            "mean_iterations": self.iterations_total / served if served else 0.0,
+            "energy_j": self.energy_j,
+            "mean_drift_m": self.drift_sum_m / served if served else 0.0,
+            "max_drift_m": self.drift_max_m,
+        }
+
+
+class Telemetry:
+    """All counters and gauges of one serve run."""
+
+    def __init__(self) -> None:
+        self.latency = LatencyHistogram()  # ready -> completion
+        self.queue_wait = LatencyHistogram()  # ready -> dispatch
+        self.service = LatencyHistogram()  # dispatch -> completion
+        self.batch_occupancy: dict[int, int] = {}
+        self.windows_served = 0
+        self.windows_shed = 0
+        self.windows_degraded = 0
+        self.deadline_misses = 0
+        self.errors = 0
+        self.sessions: dict[int, SessionMetrics] = {}
+        # Time-weighted queue-depth integral plus the exact maximum.
+        self.queue_depth_max = 0
+        self._depth_integral = 0.0
+        self._last_depth = 0
+        self._last_depth_t = 0.0
+        self.end_time_s = 0.0
+
+    def session(self, session_id: int, sequence: str = "") -> SessionMetrics:
+        metrics = self.sessions.get(session_id)
+        if metrics is None:
+            metrics = self.sessions[session_id] = SessionMetrics(
+                session_id=session_id, sequence=sequence
+            )
+        return metrics
+
+    def sample_queue_depth(self, t: float, depth: int) -> None:
+        """Record a queue-depth change at virtual time ``t``."""
+        if t > self._last_depth_t:
+            self._depth_integral += self._last_depth * (t - self._last_depth_t)
+            self._last_depth_t = t
+        self._last_depth = depth
+        self.queue_depth_max = max(self.queue_depth_max, depth)
+
+    def record_batch(self, size: int) -> None:
+        self.batch_occupancy[size] = self.batch_occupancy.get(size, 0) + 1
+
+    def record_window(
+        self,
+        session: SessionMetrics,
+        ready_time: float,
+        dispatch_time: float,
+        completion_time: float,
+        deadline: float,
+        iterations: int,
+        degraded: bool,
+        reconfigured: bool,
+        energy_j: float,
+        drift_m: float,
+    ) -> None:
+        self.latency.record(completion_time - ready_time)
+        self.queue_wait.record(dispatch_time - ready_time)
+        self.service.record(completion_time - dispatch_time)
+        self.windows_served += 1
+        session.windows_served += 1
+        session.iterations_total += iterations
+        session.energy_j += energy_j
+        session.record_drift(drift_m)
+        if degraded:
+            self.windows_degraded += 1
+            session.windows_degraded += 1
+        if reconfigured:
+            session.reconfigurations += 1
+        if completion_time > deadline:
+            self.deadline_misses += 1
+            session.deadline_misses += 1
+        self.end_time_s = max(self.end_time_s, completion_time)
+
+    def record_shed(self, session: SessionMetrics, t: float) -> None:
+        self.windows_shed += 1
+        session.windows_shed += 1
+        self.end_time_s = max(self.end_time_s, t)
+
+    def queue_depth_mean(self) -> float:
+        if self.end_time_s <= 0:
+            return 0.0
+        integral = self._depth_integral
+        if self.end_time_s > self._last_depth_t:
+            integral += self._last_depth * (self.end_time_s - self._last_depth_t)
+        return integral / self.end_time_s
+
+    def as_dict(self) -> dict:
+        total_windows = self.windows_served + self.windows_shed
+        batches = sum(self.batch_occupancy.values())
+        batched_windows = sum(s * n for s, n in self.batch_occupancy.items())
+        return {
+            "totals": {
+                "windows_served": self.windows_served,
+                "windows_shed": self.windows_shed,
+                "windows_degraded": self.windows_degraded,
+                "deadline_misses": self.deadline_misses,
+                "errors": self.errors,
+                "shed_fraction": (
+                    self.windows_shed / total_windows if total_windows else 0.0
+                ),
+                "makespan_s": self.end_time_s,
+                "throughput_wps": (
+                    self.windows_served / self.end_time_s if self.end_time_s else 0.0
+                ),
+                "energy_j": sum(s.energy_j for s in self.sessions.values()),
+            },
+            "latency_ms": self.latency.as_dict(),
+            "queue_wait_ms": self.queue_wait.as_dict(),
+            "service_ms": self.service.as_dict(),
+            "queue": {
+                "depth_max": self.queue_depth_max,
+                "depth_time_weighted_mean": self.queue_depth_mean(),
+            },
+            "batches": {
+                "count": batches,
+                "mean_occupancy": batched_windows / batches if batches else 0.0,
+                "occupancy_histogram": {
+                    str(size): count
+                    for size, count in sorted(self.batch_occupancy.items())
+                },
+            },
+            "sessions": [
+                self.sessions[sid].as_dict() for sid in sorted(self.sessions)
+            ],
+        }
+
+
+def export_metrics(metrics: dict, path: str | Path) -> Path:
+    """Write a metrics dict as canonical JSON (sorted keys, fixed layout).
+
+    Canonical form is what makes the determinism acceptance check
+    meaningful: two runs agree iff their files are byte-identical.
+    """
+    path = Path(path)
+    path.write_text(json.dumps(metrics, sort_keys=True, indent=2) + "\n")
+    return path

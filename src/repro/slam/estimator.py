@@ -159,21 +159,56 @@ class SlidingWindowEstimator:
 
     def run(self, sequence: Sequence, max_keyframes: int | None = None) -> RunResult:
         """Process a sequence end to end and return per-window records."""
-        self.reset()
-        result = RunResult()
-        camera = sequence.config.camera
+        result = self.start(sequence)
         limit = min(
             sequence.num_keyframes,
             max_keyframes if max_keyframes is not None else sequence.num_keyframes,
         )
         for frame_id in range(limit):
-            self._add_keyframe(sequence, frame_id)
-            self._register_observations(sequence, frame_id, camera)
-            if frame_id >= 1:
-                self._optimize_and_record(sequence, frame_id, camera, result)
-            if len(self._frame_order) > self.config.window_size:
-                self._slide(camera)
+            self.step(sequence, frame_id, result)
         return result
+
+    def start(self, sequence: Sequence) -> RunResult:
+        """Reset state and return a fresh :class:`RunResult` for stepping.
+
+        The incremental counterpart of :meth:`run`: callers that feed the
+        estimator window by window (the serving tier's sessions) call
+        ``start`` once, then :meth:`step` for each keyframe in order.
+        """
+        del sequence  # reserved for future per-sequence initialization
+        self.reset()
+        return RunResult()
+
+    def step(
+        self,
+        sequence: Sequence,
+        frame_id: int,
+        result: RunResult,
+        iteration_cap: int | None = None,
+        skip_optimize: bool = False,
+    ) -> WindowResult | None:
+        """Ingest one keyframe and (normally) optimize its window.
+
+        Keyframes must be stepped in order starting from 0. Returns the
+        new :class:`WindowResult`, or ``None`` for the bootstrap frame
+        and for shed windows (``skip_optimize=True`` ingests the
+        keyframe and its observations — the dead-reckoned state still
+        propagates — but skips the accelerator's optimization, which is
+        the serving tier's load-shedding path). ``iteration_cap``
+        overrides the config's policy/static cap for this window only.
+        """
+        camera = sequence.config.camera
+        self._add_keyframe(sequence, frame_id)
+        self._register_observations(sequence, frame_id, camera)
+        window = None
+        if frame_id >= 1 and not skip_optimize:
+            self._optimize_and_record(
+                sequence, frame_id, camera, result, cap_override=iteration_cap
+            )
+            window = result.windows[-1]
+        if len(self._frame_order) > self.config.window_size:
+            self._slide(camera)
+        return window
 
     # ------------------------------------------------------------------
     # Keyframe lifecycle
@@ -336,13 +371,22 @@ class SlidingWindowEstimator:
         return self.config.lm.max_iterations
 
     def _optimize_and_record(
-        self, sequence: Sequence, frame_id: int, camera, result: RunResult
+        self,
+        sequence: Sequence,
+        frame_id: int,
+        camera,
+        result: RunResult,
+        cap_override: int | None = None,
     ) -> None:
         problem = self._active_problem(camera)
         if self.config.window_probe is not None:
             self.config.window_probe(problem, frame_id)
         feature_count = len(problem.inv_depths)
-        cap = self._iteration_cap(feature_count)
+        cap = (
+            max(1, int(cap_override))
+            if cap_override is not None
+            else self._iteration_cap(feature_count)
+        )
         lm_config = LMConfig(
             max_iterations=cap,
             initial_damping=self.config.lm.initial_damping,

@@ -16,6 +16,7 @@ from repro.errors import (
     InfeasibleDesignError,
     ReproError,
     ScheduleError,
+    ServeError,
     SolverError,
 )
 
@@ -26,6 +27,7 @@ LEAVES = [
     ScheduleError,
     DataError,
     SolverError,
+    ServeError,
 ]
 
 

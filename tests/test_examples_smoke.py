@@ -12,6 +12,7 @@ examples honor.
 
 from __future__ import annotations
 
+import json
 import os
 import subprocess
 import sys
@@ -103,3 +104,61 @@ class TestModuleEntryPoints:
         )
         assert completed.returncode == 1
         assert "infeasible" in completed.stderr
+
+
+class TestServeCli:
+    """``python -m repro.serve``: the multi-session serving tier."""
+
+    ARGS = [
+        "-m",
+        "repro.serve",
+        "smoke",
+        "--sessions",
+        "2",
+        "--duration",
+        "1.0",
+    ]
+
+    def test_list_profiles(self, tmp_path):
+        completed = run_entry_point(["-m", "repro.serve", "--list"], tmp_path)
+        assert_clean(completed, "repro.serve --list")
+        names = completed.stdout.split()
+        assert "smoke" in names and "overload" in names
+
+    def test_smoke_run_writes_metrics(self, tmp_path):
+        output = tmp_path / "SERVE_METRICS.json"
+        completed = run_entry_point([*self.ARGS, "--output", str(output)], tmp_path)
+        assert_clean(completed, "repro.serve smoke")
+        assert "p99" in completed.stdout
+        metrics = json.loads(output.read_text())
+        assert metrics["totals"]["errors"] == 0
+        assert metrics["totals"]["windows_served"] > 0
+
+    def test_no_cache_flag_and_env_agree(self, tmp_path):
+        """--no-cache and REPRO_NO_CACHE both disable the disk cache and
+        produce byte-identical metrics (the cache never affects results)."""
+        via_flag = tmp_path / "flag.json"
+        completed = run_entry_point(
+            [*self.ARGS, "--no-cache", "--output", str(via_flag)], tmp_path
+        )
+        assert_clean(completed, "repro.serve --no-cache")
+        assert "disk: disabled" in completed.stdout
+        assert not (tmp_path / "cache").exists()
+
+        via_env = tmp_path / "env.json"
+        completed = run_entry_point(
+            [*self.ARGS, "--output", str(via_env)],
+            tmp_path,
+            extra_env={"REPRO_NO_CACHE": "1"},
+        )
+        assert_clean(completed, "repro.serve REPRO_NO_CACHE=1")
+        assert not (tmp_path / "cache").exists()
+        assert via_flag.read_bytes() == via_env.read_bytes()
+
+    def test_unknown_profile_exits_two_with_suggestion(self, tmp_path):
+        completed = run_entry_point(
+            ["-m", "repro.serve", "smokey", "--no-cache"], tmp_path
+        )
+        assert completed.returncode == 2
+        assert "smokey" in completed.stderr
+        assert "did you mean" in completed.stderr

@@ -172,3 +172,76 @@ class TestRuntimeController:
         # First call proposes a change; hysteresis keeps the old value.
         assert controller.iteration_policy(300) == MAX_ITERATIONS
         assert controller.iteration_policy(300) == IterationTable().lookup(300)
+
+
+class TestControllerSessionIsolation:
+    """Regression: concurrent serve sessions must not cross-contaminate
+    the controller's 2-bit counter state (the documented contract: tables
+    shared read-only, one controller per session via ``for_session``)."""
+
+    @pytest.fixture()
+    def prototype(self):
+        result = high_perf_design()
+        reconfig = build_reconfiguration_table(result.config, result.spec)
+        return RuntimeController(table=IterationTable(), reconfig=reconfig)
+
+    @staticmethod
+    def replay(controller, stream):
+        return [controller.decide(features) for features in stream]
+
+    def test_for_session_shares_tables_not_state(self, prototype):
+        session = prototype.for_session()
+        assert session.table is prototype.table
+        assert session.reconfig is prototype.reconfig
+        prototype.decide(300)
+        prototype.decide(300)
+        # The prototype's hysteresis history must not leak into the fork.
+        fresh = prototype.for_session()
+        assert fresh.decide(300) == prototype.for_session().decide(300)
+        assert fresh.decisions == []
+
+    def test_interleaved_sessions_match_isolated_runs(self, prototype):
+        # Robot A sees rich windows, robot B sparse — opposite proposals,
+        # so any shared counter state would flip decisions.
+        stream_a = [300, 300, 20, 20, 300, 300, 300, 20, 300, 300]
+        stream_b = [20, 20, 300, 20, 20, 20, 300, 300, 20, 20]
+        isolated_a = self.replay(prototype.for_session(), stream_a)
+        isolated_b = self.replay(prototype.for_session(), stream_b)
+
+        controller_a = prototype.for_session()
+        controller_b = prototype.for_session()
+        interleaved_a, interleaved_b = [], []
+        for features_a, features_b in zip(stream_a, stream_b):
+            interleaved_a.append(controller_a.decide(features_a))
+            interleaved_b.append(controller_b.decide(features_b))
+        assert interleaved_a == isolated_a
+        assert interleaved_b == isolated_b
+
+    def test_shared_controller_would_contaminate(self, prototype):
+        # The counter-example the contract exists for: one controller fed
+        # both robots' streams diverges from the isolated decisions.
+        stream_a = [300, 300, 300, 300]
+        isolated_a = self.replay(prototype.for_session(), stream_a)
+        shared = prototype.for_session()
+        contaminated_a = []
+        for features_a in stream_a:
+            contaminated_a.append(shared.decide(features_a))
+            shared.decide(20)  # robot B interleaves through the same counter
+        assert contaminated_a != isolated_a
+
+    def test_degrade_drops_iterations_but_not_counter_state(self, prototype):
+        plain = prototype.for_session()
+        degraded = prototype.for_session()
+        stream = [300, 300, 300, 300]
+        for features in stream:
+            applied_plain, _, _ = plain.decide(features)
+            applied_degraded, config, _ = degraded.decide(features, degrade=2)
+            assert applied_degraded == max(1, applied_plain - 2)
+            assert config == degraded.reconfig.lookup(applied_degraded)
+        # Backpressure fed the counter the *undegraded* proposal, so once
+        # load clears both controllers agree again immediately — the
+        # recovering one just reports a reconfiguration back up.
+        applied_plain, config_plain, _ = plain.decide(300)
+        applied_recovered, config_recovered, reconfigured = degraded.decide(300)
+        assert (applied_recovered, config_recovered) == (applied_plain, config_plain)
+        assert reconfigured

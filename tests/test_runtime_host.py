@@ -84,3 +84,52 @@ class TestExperimentsCli:
         assert main(["sec33", "sec73"]) == 0
         out = capsys.readouterr().out
         assert "== sec33" in out and "== sec73" in out
+
+
+class TestHostInterfaceEdgeCases:
+    def test_zero_observation_window_ships_only_the_prior(self):
+        """A keyframe with no tracked features still costs a transfer —
+        but only the marginalization prior, never negative or NaN."""
+        from repro.data.stats import WindowStats
+        from repro.runtime.host import PRIOR_BYTES_PER_STATE, WORD_BYTES
+
+        empty = WindowStats(
+            num_features=0,
+            avg_observations=0.0,
+            num_keyframes=2,
+            num_marginalized=0,
+            num_observations=0,
+        )
+        payload = window_payload_bytes(empty)
+        prior_states = empty.state_size * (empty.num_keyframes - 1)
+        expected = (
+            prior_states * WORD_BYTES
+            + prior_states * prior_states * WORD_BYTES / 2
+        )
+        assert payload == expected > 0
+        assert PRIOR_BYTES_PER_STATE == 15 * WORD_BYTES
+        # The link still charges its setup latency for the tiny payload.
+        link = HostLink()
+        assert link.transfer_seconds(payload) >= link.setup_latency_s
+
+    def test_unchanged_config_ships_zero_config_bytes(self):
+        """When the runtime controller's decision did not change, the
+        3-byte configuration word is NOT retransmitted."""
+        base = window_payload_bytes(REFERENCE_WORKLOAD)
+        unchanged = window_payload_bytes(REFERENCE_WORKLOAD, reconfigured=False)
+        assert unchanged == base  # default is the no-reconfiguration path
+        link = HostLink()
+        delta = link.transfer_seconds(
+            window_payload_bytes(REFERENCE_WORKLOAD, reconfigured=True)
+        ) - link.transfer_seconds(base)
+        assert delta == pytest.approx(CONFIG_BYTES / link.bandwidth_bytes_per_s)
+
+    def test_transfer_under_one_percent_at_fig11_scale(self):
+        """Sec. 6.2 quantitatively: at the fig. 11 reference workload the
+        host-link transfer is under 1% of the window's compute time."""
+        design = high_perf_design()
+        compute = window_latency_seconds(REFERENCE_WORKLOAD, design.config)
+        overhead = interface_overhead_fraction(
+            REFERENCE_WORKLOAD, compute, reconfigured=True
+        )
+        assert overhead < 0.01

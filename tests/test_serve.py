@@ -1,0 +1,262 @@
+"""Tests for the multi-session serving tier (``repro.serve``)."""
+
+import json
+
+import pytest
+
+from repro.engine import Engine
+from repro.errors import ConfigurationError, ServeError
+from repro.serve import (
+    Admission,
+    LatencyHistogram,
+    LoadProfile,
+    LocalizationService,
+    Scheduler,
+    Telemetry,
+    WindowRequest,
+    available_profiles,
+    open_loop_arrivals,
+    resolve_profile,
+    session_sequence_config,
+)
+from repro.serve.session import SessionState
+
+
+def make_request(seq, deadline=1.0, session_id=0, degraded=False):
+    return WindowRequest(
+        session_id=session_id,
+        frame_id=seq,
+        ready_time=0.0,
+        deadline=deadline,
+        iterations=4,
+        config=None,
+        reconfigured=False,
+        degraded=degraded,
+        seq=seq,
+    )
+
+
+def mini_profile(**overrides):
+    base = dict(
+        name="mini",
+        num_sessions=3,
+        num_instances=2,
+        rate_hz=8.0,
+        duration_s=1.5,
+        sequence_duration_s=2.0,
+        seed=7,
+    )
+    base.update(overrides)
+    return LoadProfile(**base)
+
+
+def run_mini(profile, fidelity="analytical"):
+    service = LocalizationService(
+        profile, engine=Engine(use_disk=False), fidelity=fidelity
+    )
+    return service.run()
+
+
+class TestLoadProfile:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            mini_profile(num_sessions=0)
+        with pytest.raises(ConfigurationError):
+            mini_profile(arrival="push")
+        with pytest.raises(ConfigurationError):
+            mini_profile(rate_hz=0.0)
+        with pytest.raises(ConfigurationError):
+            mini_profile(backpressure=100, max_queue=10)
+        with pytest.raises(ConfigurationError):
+            mini_profile(deadline_s=0.0)
+        with pytest.raises(ConfigurationError):
+            mini_profile(max_pending_per_session=0)
+
+    def test_registry_and_did_you_mean(self):
+        assert {"smoke", "steady", "overload", "closed-loop"} <= set(
+            available_profiles()
+        )
+        assert resolve_profile("smoke").name == "smoke"
+        with pytest.raises(ConfigurationError, match="did you mean"):
+            resolve_profile("smokey")
+
+    def test_sessions_cycle_the_catalog(self):
+        profile = mini_profile()
+        names = {session_sequence_config(profile, i).name for i in range(4)}
+        assert len(names) == 4
+        config = session_sequence_config(profile, 0)
+        assert config.duration == profile.sequence_duration_s
+
+    def test_open_loop_arrivals_deterministic_and_bounded(self):
+        profile = mini_profile()
+        a = open_loop_arrivals(profile, 1, 100)
+        b = open_loop_arrivals(profile, 1, 100)
+        assert a == b
+        assert a != open_loop_arrivals(profile, 2, 100)
+        assert all(t < profile.duration_s for t in a)
+        assert open_loop_arrivals(profile, 1, 3) == a[:3]
+        assert a == sorted(a)
+
+
+class TestScheduler:
+    def test_admission_regimes(self):
+        scheduler = Scheduler(max_queue=4, backpressure=2, batch_size=8)
+        assert scheduler.admit() is Admission.ACCEPT
+        scheduler.push(make_request(1))
+        scheduler.push(make_request(2))
+        assert scheduler.admit() is Admission.DEGRADE
+        scheduler.push(make_request(3, degraded=True))
+        scheduler.push(make_request(4, degraded=True))
+        assert scheduler.admit() is Admission.SHED
+        assert scheduler.as_dict()["degraded"] == 2
+
+    def test_overflow_is_a_typed_error(self):
+        scheduler = Scheduler(max_queue=1, backpressure=1)
+        scheduler.push(make_request(1))
+        with pytest.raises(ServeError, match="admission control bypassed"):
+            scheduler.push(make_request(2))
+
+    def test_batches_pop_earliest_deadline_first(self):
+        scheduler = Scheduler(batch_size=2)
+        scheduler.push(make_request(1, deadline=3.0))
+        scheduler.push(make_request(2, deadline=1.0))
+        scheduler.push(make_request(3, deadline=2.0))
+        first = scheduler.next_batch()
+        assert [r.deadline for r in first] == [1.0, 2.0]
+        assert [r.deadline for r in scheduler.next_batch()] == [3.0]
+        assert scheduler.next_batch() == []
+
+    def test_equal_deadlines_break_ties_by_submission_order(self):
+        scheduler = Scheduler(batch_size=4)
+        for seq in (5, 2, 9):
+            scheduler.push(make_request(seq, deadline=1.0))
+        assert [r.seq for r in scheduler.next_batch()] == [2, 5, 9]
+
+
+class TestTelemetry:
+    def test_histogram_percentiles(self):
+        histogram = LatencyHistogram()
+        for ms in range(1, 101):
+            histogram.record(ms * 1e-3)
+        assert histogram.total == 100
+        # Bin upper edges overestimate by at most one bin width (~12%).
+        assert 0.050 <= histogram.percentile(0.50) <= 0.057
+        assert 0.095 <= histogram.percentile(0.95) <= 0.107
+        assert histogram.percentile(0.99) <= histogram.max_s == 0.1
+        assert histogram.as_dict()["count"] == 100
+
+    def test_empty_histogram(self):
+        histogram = LatencyHistogram()
+        assert histogram.percentile(0.99) == 0.0
+        assert histogram.mean_s == 0.0
+
+    def test_queue_depth_is_time_weighted(self):
+        telemetry = Telemetry()
+        telemetry.sample_queue_depth(0.0, 4)  # depth 4 over [0, 2)
+        telemetry.sample_queue_depth(2.0, 0)  # depth 0 over [2, 4)
+        telemetry.end_time_s = 4.0
+        assert telemetry.queue_depth_mean() == pytest.approx(2.0)
+        assert telemetry.queue_depth_max == 4
+
+
+class TestSessionStateMachine:
+    @pytest.fixture(scope="class")
+    def service(self):
+        service = LocalizationService(
+            mini_profile(num_sessions=1), engine=Engine(use_disk=False)
+        )
+        service._build()
+        return service
+
+    def test_arrival_and_backlog_ordering(self, service):
+        session = service.sessions[0]
+        assert session.state is SessionState.WAITING
+        assert session.on_arrival(0.1) and session.on_arrival(0.2)
+        assert session.state is SessionState.READY
+        assert session.take_pending() == (1, 0.1)
+        assert session.take_pending() == (2, 0.2)
+        assert session.state is SessionState.WAITING
+        with pytest.raises(ServeError):
+            session.take_pending()
+
+    def test_inflight_transitions_guarded(self, service):
+        session = service.sessions[0]
+        session.mark_inflight()
+        with pytest.raises(ServeError):
+            session.mark_inflight()
+        session.on_complete()
+        with pytest.raises(ServeError):
+            session.on_complete()
+
+
+class TestServeRuns:
+    def test_metrics_bit_identical_across_runs(self):
+        profile = mini_profile()
+        dumps = [
+            json.dumps(run_mini(profile).metrics, sort_keys=True, indent=2)
+            for _ in range(2)
+        ]
+        assert dumps[0] == dumps[1]
+
+    def test_basic_accounting(self):
+        report = run_mini(mini_profile())
+        totals = report.metrics["totals"]
+        assert totals["errors"] == 0
+        assert totals["windows_served"] > 0
+        assert totals["throughput_wps"] > 0
+        served = sum(
+            s["windows_served"] for s in report.metrics["sessions"]
+        )
+        assert served == totals["windows_served"]
+        assert report.metrics["latency_ms"]["count"] == totals["windows_served"]
+        assert totals["energy_j"] > 0
+        assert report.metrics["schema"] == 1
+        # Wall-clock never leaks into the exported (deterministic) dict.
+        assert "wall" not in json.dumps(report.metrics)
+
+    def test_overload_sheds_and_degrades_gracefully(self):
+        profile = mini_profile(
+            num_sessions=6,
+            num_instances=1,
+            rate_hz=80.0,
+            duration_s=0.5,
+            max_queue=3,
+            backpressure=1,
+            max_pending_per_session=1,
+            deadline_s=0.01,
+        )
+        report = run_mini(profile)
+        totals = report.metrics["totals"]
+        assert totals["errors"] == 0
+        assert totals["windows_shed"] > 0
+        assert totals["windows_degraded"] > 0
+        assert report.metrics["queue"]["depth_max"] <= profile.max_queue
+        assert report.metrics["scheduler"]["shed"] == totals["windows_shed"]
+
+    def test_closed_loop_self_limits(self):
+        report = run_mini(
+            mini_profile(arrival="closed", think_time_s=0.02, duration_s=0.6)
+        )
+        totals = report.metrics["totals"]
+        assert totals["errors"] == 0 and totals["windows_shed"] == 0
+        # Closed-loop arrivals wait for completions, so nobody queues
+        # behind more than the fleet itself.
+        assert report.metrics["queue"]["depth_max"] <= 3
+
+    def test_functional_fidelity_runs(self):
+        report = run_mini(
+            mini_profile(num_sessions=1, duration_s=0.8), fidelity="functional"
+        )
+        totals = report.metrics["totals"]
+        assert totals["errors"] == 0 and totals["windows_served"] > 0
+
+    def test_report_render_mentions_key_numbers(self):
+        report = run_mini(mini_profile(num_sessions=2))
+        rendered = report.render()
+        assert "p99" in rendered and "windows/s" in rendered
+        assert "seed 7" in rendered
+
+    def test_metrics_file_round_trips(self, tmp_path):
+        report = run_mini(mini_profile(num_sessions=2))
+        path = report.write_metrics(tmp_path / "SERVE_METRICS.json")
+        assert json.loads(path.read_text()) == report.metrics
