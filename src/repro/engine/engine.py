@@ -34,6 +34,7 @@ from typing import Any
 from repro.engine.cache import ArtifactCache, CacheCounters, CacheStats
 from repro.engine.keys import artifact_key
 from repro.engine.stage import Stage
+from repro.obs.tracer import Trace
 
 logger = logging.getLogger("repro.engine")
 
@@ -66,12 +67,16 @@ class Engine:
         cache_dir: str | Path | None = DEFAULT_CACHE_DIR,
         use_disk: bool = True,
         jobs: int = 1,
+        trace: Trace | None = None,
     ) -> None:
         self.cache = (
             ArtifactCache(cache_dir) if (use_disk and cache_dir is not None) else None
         )
         self.jobs = max(1, int(jobs))
         self.stats = CacheStats()
+        # Optional repro.obs trace: every artifact fetch/compute becomes
+        # a wall-clock span tagged with its cache provenance.
+        self.trace = trace
         self._memory: dict[str, Any] = {}
         self._locks: dict[str, threading.Lock] = {}
         self._registry_lock = threading.Lock()
@@ -84,7 +89,27 @@ class Engine:
         return artifact_key(stage.name, stage.version, config)
 
     def artifact(self, stage: Stage, config: Any) -> Artifact:
-        """Fetch or compute one artifact, with provenance."""
+        """Fetch or compute one artifact, with provenance.
+
+        With a trace attached, the whole fetch (cache probes included)
+        is recorded as one span whose ``source`` attribute says whether
+        the memo, the disk cache, or a fresh compute served it.
+        """
+        if self.trace is None:
+            return self._artifact(stage, config)
+        tic = time.perf_counter()
+        artifact = self._artifact(stage, config)
+        self.trace.add_span(
+            stage.name,
+            category="engine",
+            start_s=tic,
+            duration_s=time.perf_counter() - tic,
+            source=artifact.source,
+            key=artifact.key[:12],
+        )
+        return artifact
+
+    def _artifact(self, stage: Stage, config: Any) -> Artifact:
         key = self.key_for(stage, config)
         payload = self._memory.get(key)
         if payload is not None:
@@ -192,9 +217,12 @@ def configure(
     cache_dir: str | Path | None = DEFAULT_CACHE_DIR,
     use_disk: bool = True,
     jobs: int = 1,
+    trace: Trace | None = None,
 ) -> Engine:
     """Replace the default engine (CLI flags, test fixtures)."""
     global _default_engine
     with _default_lock:
-        _default_engine = Engine(cache_dir=cache_dir, use_disk=use_disk, jobs=jobs)
+        _default_engine = Engine(
+            cache_dir=cache_dir, use_disk=use_disk, jobs=jobs, trace=trace
+        )
         return _default_engine

@@ -1,0 +1,52 @@
+"""``repro.obs`` — the unified, dependency-free observability layer.
+
+One tracer and one metrics registry shared by every layer of the stack:
+
+* :mod:`repro.obs.tracer` — nestable :class:`Span` contexts recorded
+  into a thread-safe per-run :class:`Trace` (wall or virtual clock),
+  exported as Chrome ``trace_event`` JSON or flat JSONL;
+* :mod:`repro.obs.metrics` — counters, gauges and the log-binned
+  :class:`LatencyHistogram` (the single histogram implementation; the
+  serve tier re-exports it), collected in a :class:`MetricsRegistry`
+  with Prometheus text dumps and a canonical ``OBS_METRICS.json``;
+* ``python -m repro.obs report <trace.jsonl>`` — per-category latency
+  rollup; ``validate`` checks a Chrome export against the schema.
+
+See ``docs/observability.md`` for the full tour.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    LatencyHistogram,
+    MetricsRegistry,
+)
+from repro.obs.report import RollupRow, render_rollup, rollup
+from repro.obs.tracer import (
+    CLOCK_VIRTUAL,
+    CLOCK_WALL,
+    Span,
+    Trace,
+    global_trace,
+    reset_global_trace,
+    spans_by,
+    validate_chrome_trace,
+)
+
+__all__ = [
+    "CLOCK_VIRTUAL",
+    "CLOCK_WALL",
+    "Counter",
+    "Gauge",
+    "LatencyHistogram",
+    "MetricsRegistry",
+    "RollupRow",
+    "Span",
+    "Trace",
+    "global_trace",
+    "render_rollup",
+    "reset_global_trace",
+    "rollup",
+    "spans_by",
+    "validate_chrome_trace",
+]

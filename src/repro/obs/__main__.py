@@ -1,0 +1,71 @@
+"""CLI: ``python -m repro.obs report <trace.jsonl>`` and
+``python -m repro.obs validate <trace.json>``.
+
+``report`` prints the per-category latency rollup of a JSONL trace;
+``validate`` checks a Chrome ``trace_event`` JSON export against the
+schema (the gate CI applies to the serve smoke trace) and exits nonzero
+on any problem.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.obs.report import render_rollup
+from repro.obs.tracer import Trace, validate_chrome_trace
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Inspect and validate repro observability artifacts.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    report = commands.add_parser(
+        "report", help="print a per-category latency rollup of a JSONL trace"
+    )
+    report.add_argument("trace", metavar="TRACE.jsonl", help="flat JSONL trace file")
+
+    validate = commands.add_parser(
+        "validate", help="validate a Chrome trace_event JSON export"
+    )
+    validate.add_argument("trace", metavar="TRACE.json", help="Chrome trace JSON file")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    path = Path(args.trace)
+    if not path.is_file():
+        print(f"error: no such trace file: {path}", file=sys.stderr)
+        return 2
+
+    if args.command == "report":
+        trace = Trace.from_jsonl(path)
+        if not trace.spans:
+            print(f"error: {path} holds no spans", file=sys.stderr)
+            return 2
+        print(render_rollup(trace.spans, title=path.name))
+        return 0
+
+    try:
+        data = json.loads(path.read_text())
+    except json.JSONDecodeError as error:
+        print(f"error: {path} is not valid JSON: {error}", file=sys.stderr)
+        return 1
+    problems = validate_chrome_trace(data)
+    if problems:
+        for problem in problems:
+            print(f"invalid: {problem}", file=sys.stderr)
+        return 1
+    events = len(data["traceEvents"])
+    print(f"{path.name}: valid Chrome trace ({events} events)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

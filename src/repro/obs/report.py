@@ -1,0 +1,65 @@
+"""Trace rollups: per-category latency breakdowns from a span list.
+
+Backs ``python -m repro.obs report <trace.jsonl>`` — the quick answer
+to "where did this run's time go?" without opening a trace viewer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.obs.tracer import Span
+
+
+@dataclass
+class RollupRow:
+    """Aggregate of one (category, name) span group."""
+
+    category: str
+    name: str
+    count: int
+    total_s: float
+    max_s: float
+
+    @property
+    def mean_s(self) -> float:
+        return self.total_s / self.count if self.count else 0.0
+
+
+def rollup(spans: list[Span]) -> list[RollupRow]:
+    """Group spans by (category, name); sorted by descending total time."""
+    groups: dict[tuple[str, str], RollupRow] = {}
+    for span in spans:
+        key = (span.category, span.name)
+        row = groups.get(key)
+        if row is None:
+            row = groups[key] = RollupRow(span.category, span.name, 0, 0.0, 0.0)
+        row.count += 1
+        row.total_s += span.duration_s
+        row.max_s = max(row.max_s, span.duration_s)
+    return sorted(groups.values(), key=lambda r: (-r.total_s, r.category, r.name))
+
+
+def render_rollup(spans: list[Span], title: str = "trace") -> str:
+    """The human-readable per-category latency rollup."""
+    rows = rollup(spans)
+    grand_total = sum(row.total_s for row in rows)
+    categories = {row.category for row in rows}
+    lines = [
+        f"== {title}: {len(spans)} spans, {len(categories)} categories, "
+        f"{grand_total * 1e3:.2f} ms total =="
+    ]
+    header = (
+        f"{'category':<10} {'span':<16} {'count':>7} {'total_ms':>10} "
+        f"{'mean_ms':>9} {'max_ms':>9} {'share':>6}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rows:
+        share = row.total_s / grand_total if grand_total > 0 else 0.0
+        lines.append(
+            f"{row.category:<10} {row.name:<16} {row.count:>7} "
+            f"{row.total_s * 1e3:>10.3f} {row.mean_s * 1e3:>9.3f} "
+            f"{row.max_s * 1e3:>9.3f} {share:>5.1%}"
+        )
+    return "\n".join(lines)

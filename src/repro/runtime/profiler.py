@@ -31,6 +31,12 @@ MAX_ITERATIONS = 6  # the paper's cap: >6 iterations buys ~no accuracy
 class StageTimings:
     """Wall-clock seconds spent in each estimator pipeline stage.
 
+    Since the unified observability layer (``repro.obs``), this is a
+    thin *view* over the spans the NLS solver records — the solver no
+    longer does bespoke stage arithmetic; :meth:`from_trace` sums the
+    per-stage spans back into this shape so ``RunResult.timing_summary``
+    and the engine codecs keep their exact contract.
+
     Attributes:
         linearize_s: residual/Jacobian evaluation (VJac + IJac work).
         assemble_s: scatter-accumulation of the arrow system blocks.
@@ -44,6 +50,24 @@ class StageTimings:
     update_s: float = 0.0
 
     STAGES = ("linearize", "assemble", "solve", "update")
+
+    @classmethod
+    def from_spans(cls, spans) -> "StageTimings":
+        """Sum stage-named spans (``linearize``/``assemble``/``solve``/
+        ``update``) into the aggregate view. Spans with other names are
+        ignored, so a trace holding parent ``window`` spans folds down
+        without double counting."""
+        timings = cls()
+        for span in spans:
+            if span.name in cls.STAGES:
+                attr = f"{span.name}_s"
+                setattr(timings, attr, getattr(timings, attr) + span.duration_s)
+        return timings
+
+    @classmethod
+    def from_trace(cls, trace) -> "StageTimings":
+        """The :meth:`from_spans` view over a whole ``repro.obs`` trace."""
+        return cls.from_spans(trace.spans)
 
     @property
     def total_s(self) -> float:

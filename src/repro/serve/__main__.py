@@ -65,6 +65,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="metrics file to write (default: SERVE_METRICS.json)",
     )
     parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="export the virtual-time span trace as JSONL",
+    )
+    parser.add_argument(
+        "--chrome-trace",
+        metavar="PATH",
+        help="export the span trace as Chrome trace_event JSON",
+    )
+    parser.add_argument(
+        "--obs-metrics",
+        metavar="PATH",
+        help="export counters/gauges/histograms as canonical OBS_METRICS.json",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="engine worker threads (virtual-time outputs are identical "
+        "at any worker count)",
+    )
+    parser.add_argument(
         "--cache-dir",
         default=str(DEFAULT_CACHE_DIR),
         metavar="PATH",
@@ -101,7 +124,9 @@ def main(argv: list[str]) -> int:
     # disables the disk cache; metrics are identical both ways).
     env_no_cache = os.environ.get("REPRO_NO_CACHE", "").lower() in ("1", "true", "yes")
     engine = configure(
-        cache_dir=args.cache_dir, use_disk=not (args.no_cache or env_no_cache)
+        cache_dir=args.cache_dir,
+        use_disk=not (args.no_cache or env_no_cache),
+        jobs=args.jobs,
     )
     try:
         profile = _apply_overrides(resolve_profile(args.profile), args)
@@ -114,6 +139,12 @@ def main(argv: list[str]) -> int:
     print(report.render())
     path = report.write_metrics(args.output)
     print(f"metrics -> {path}")
+    if args.trace:
+        print(f"trace -> {report.write_trace(args.trace)}")
+    if args.chrome_trace:
+        print(f"chrome trace -> {report.write_chrome_trace(args.chrome_trace)}")
+    if args.obs_metrics:
+        print(f"obs metrics -> {report.write_obs_metrics(args.obs_metrics)}")
     print(report.cache_line)
     return 0
 

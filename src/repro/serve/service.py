@@ -35,6 +35,7 @@ from pathlib import Path
 
 from repro.engine import SEQUENCE, design_reconfiguration, get_engine, named_design
 from repro.errors import ReproError, ServeError
+from repro.obs.tracer import CLOCK_VIRTUAL, Trace
 from repro.runtime.controller import RuntimeController
 from repro.runtime.profiler import IterationTable
 from repro.serve.accelerator import AcceleratorInstance, make_pool
@@ -63,9 +64,31 @@ class ServeReport:
     metrics: dict  # deterministic; exactly what SERVE_METRICS.json holds
     cache_line: str  # live engine stats (stdout only — disk-state dependent)
     wall_seconds: float  # stdout only — never part of the metrics file
+    trace: Trace | None = None  # virtual-time spans; deterministic
+    telemetry: Telemetry | None = None
 
     def write_metrics(self, path: str | Path) -> Path:
         return export_metrics(self.metrics, path)
+
+    def write_trace(self, path: str | Path) -> Path:
+        """Export the virtual-time span trace as flat JSONL
+        (byte-identical across repeats of a seeded run)."""
+        if self.trace is None:
+            raise ServeError("this report carries no trace")
+        return self.trace.export_jsonl(path)
+
+    def write_chrome_trace(self, path: str | Path) -> Path:
+        """Export the trace as Chrome ``trace_event`` JSON."""
+        if self.trace is None:
+            raise ServeError("this report carries no trace")
+        return self.trace.export_chrome(path)
+
+    def write_obs_metrics(self, path: str | Path) -> Path:
+        """Export the run's counters/gauges/histograms as the canonical
+        ``OBS_METRICS.json`` via :class:`repro.obs.MetricsRegistry`."""
+        if self.telemetry is None:
+            raise ServeError("this report carries no telemetry")
+        return self.telemetry.to_registry().export_json(path)
 
     def render(self) -> str:
         totals = self.metrics["totals"]
@@ -162,6 +185,10 @@ class LocalizationService:
             batch_size=profile.batch_size,
         )
         self.telemetry = Telemetry()
+        # All spans are stamped with virtual times from the (single
+        # threaded) event loop, so the trace is byte-identical across
+        # repeats and across wall-clock worker counts.
+        self.trace = Trace(clock=CLOCK_VIRTUAL, name=f"serve:{profile.name}")
         for session in self.sessions:
             self.telemetry.session(
                 session.session_id, session.sequence.config.name
@@ -239,6 +266,8 @@ class LocalizationService:
             metrics=metrics,
             cache_line=self.engine.stats_line(),
             wall_seconds=wall,
+            trace=self.trace,
+            telemetry=self.telemetry,
         )
 
     def _on_complete(self, t: float, session: Session) -> None:
@@ -354,6 +383,40 @@ class LocalizationService:
                 energy = charge.compute_s * self.reconfig.gated_power(
                     request.iterations
                 )
+                self.trace.add_span(
+                    "queue_wait",
+                    category="serve",
+                    start_s=request.ready_time,
+                    duration_s=t - request.ready_time,
+                    depth=1,
+                    session=request.session_id,
+                    frame=request.frame_id,
+                )
+                if request.reconfigured:
+                    # The reconfiguration rides the host link (the +3
+                    # config bytes), so mark it with the transfer window.
+                    self.trace.add_span(
+                        "reconfig",
+                        category="serve",
+                        start_s=cursor,
+                        duration_s=charge.transfer_s,
+                        depth=1,
+                        session=request.session_id,
+                        nd=request.config.nd,
+                        nm=request.config.nm,
+                        s=request.config.s,
+                    )
+                self.trace.add_span(
+                    "service",
+                    category="serve",
+                    start_s=cursor,
+                    duration_s=charge.total_s,
+                    depth=1,
+                    session=request.session_id,
+                    frame=request.frame_id,
+                    iterations=request.iterations,
+                    degraded=request.degraded,
+                )
                 self.telemetry.record_window(
                     metrics,
                     ready_time=request.ready_time,
@@ -370,6 +433,14 @@ class LocalizationService:
                 cursor = completion
                 self._push_event(completion, _COMPLETE, session.session_id)
             if cursor > t:
+                self.trace.add_span(
+                    "batch",
+                    category="serve",
+                    start_s=t,
+                    duration_s=cursor - t,
+                    instance=instance.instance_id,
+                    occupancy=len(batch),
+                )
                 self._push_event(cursor, _FREE, instance.instance_id)
 
     @staticmethod

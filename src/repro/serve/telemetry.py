@@ -11,81 +11,23 @@ stdout.
 from __future__ import annotations
 
 import json
-import math
 from dataclasses import dataclass, field
 from pathlib import Path
 
+# The log-binned histogram lives in repro.obs.metrics now — one
+# implementation for the whole stack; this re-export keeps the serve
+# tier's public name (`from repro.serve import LatencyHistogram`) alive.
+from repro.obs.metrics import LatencyHistogram, MetricsRegistry
+
 METRICS_SCHEMA_VERSION = 1
 
-# Log-spaced latency bins: 0.05 ms .. ~53 s, 20 bins per decade. Fixed
-# edges (rather than adaptive ones) keep histograms mergeable and the
-# JSON export stable across runs.
-_BIN_FLOOR_S = 5e-5
-_BINS_PER_DECADE = 20
-_NUM_BINS = 120
-
-
-def _bin_index(seconds: float) -> int:
-    if seconds <= _BIN_FLOOR_S:
-        return 0
-    index = int(math.floor(math.log10(seconds / _BIN_FLOOR_S) * _BINS_PER_DECADE)) + 1
-    return min(index, _NUM_BINS - 1)
-
-
-def _bin_upper_edge_s(index: int) -> float:
-    if index == 0:
-        return _BIN_FLOOR_S
-    return _BIN_FLOOR_S * 10.0 ** (index / _BINS_PER_DECADE)
-
-
-class LatencyHistogram:
-    """Fixed-bin log-scale histogram with exact count/mean/max tracking.
-
-    Percentiles are reported as the upper edge of the bin containing the
-    requested rank — a deterministic, merge-friendly estimate whose
-    relative error is bounded by the bin width (~12%).
-    """
-
-    def __init__(self) -> None:
-        self.counts = [0] * _NUM_BINS
-        self.total = 0
-        self.sum_s = 0.0
-        self.max_s = 0.0
-
-    def record(self, seconds: float) -> None:
-        self.counts[_bin_index(seconds)] += 1
-        self.total += 1
-        self.sum_s += seconds
-        self.max_s = max(self.max_s, seconds)
-
-    def percentile(self, q: float) -> float:
-        """Latency (seconds) at quantile ``q`` in [0, 1]."""
-        if self.total == 0:
-            return 0.0
-        rank = math.ceil(q * self.total)
-        seen = 0
-        for index, count in enumerate(self.counts):
-            seen += count
-            if seen >= rank:
-                return min(_bin_upper_edge_s(index), self.max_s)
-        return self.max_s
-
-    @property
-    def mean_s(self) -> float:
-        return self.sum_s / self.total if self.total else 0.0
-
-    def as_dict(self) -> dict:
-        return {
-            "count": self.total,
-            "mean_ms": self.mean_s * 1e3,
-            "max_ms": self.max_s * 1e3,
-            "p50_ms": self.percentile(0.50) * 1e3,
-            "p95_ms": self.percentile(0.95) * 1e3,
-            "p99_ms": self.percentile(0.99) * 1e3,
-            # Sparse bin dump (index -> count) so two runs can be diffed
-            # bin by bin, not just at the summary percentiles.
-            "bins": {str(i): c for i, c in enumerate(self.counts) if c},
-        }
+__all__ = [
+    "LatencyHistogram",
+    "METRICS_SCHEMA_VERSION",
+    "SessionMetrics",
+    "Telemetry",
+    "export_metrics",
+]
 
 
 @dataclass
@@ -208,6 +150,41 @@ class Telemetry:
         if self.end_time_s > self._last_depth_t:
             integral += self._last_depth * (self.end_time_s - self._last_depth_t)
         return integral / self.end_time_s
+
+    def to_registry(self) -> MetricsRegistry:
+        """Snapshot this run as a :class:`repro.obs.MetricsRegistry`.
+
+        The live histograms are registered by reference (they are final
+        once the run ends), so ``registry.export_json`` writes the
+        canonical ``OBS_METRICS.json`` without copying bins.
+        """
+        registry = MetricsRegistry()
+        registry.counter(
+            "serve_windows_served_total", "windows completed"
+        ).inc(self.windows_served)
+        registry.counter(
+            "serve_windows_shed_total", "windows shed by admission control"
+        ).inc(self.windows_shed)
+        registry.counter(
+            "serve_windows_degraded_total", "windows served at reduced effort"
+        ).inc(self.windows_degraded)
+        registry.counter(
+            "serve_deadline_misses_total", "windows completed past deadline"
+        ).inc(self.deadline_misses)
+        registry.counter("serve_errors_total", "solver errors").inc(self.errors)
+        registry.gauge(
+            "serve_queue_depth_max", "peak queue depth"
+        ).set(self.queue_depth_max)
+        registry.gauge(
+            "serve_queue_depth_mean", "time-weighted mean queue depth"
+        ).set(self.queue_depth_mean())
+        registry.gauge("serve_makespan_seconds", "virtual makespan").set(
+            self.end_time_s
+        )
+        registry.register_histogram("serve_latency_seconds", self.latency)
+        registry.register_histogram("serve_queue_wait_seconds", self.queue_wait)
+        registry.register_histogram("serve_service_seconds", self.service)
+        return registry
 
     def as_dict(self) -> dict:
         total_windows = self.windows_served + self.windows_shed

@@ -25,6 +25,7 @@ from repro.errors import DataError
 from repro.geometry.navstate import NavState
 from repro.geometry.se3 import SE3
 from repro.imu.preintegration import GRAVITY, ImuPreintegration
+from repro.obs.tracer import Trace
 from repro.slam.marginalization import marginalize_window
 from repro.slam.nls import LMConfig, levenberg_marquardt
 from repro.slam.problem import MAX_INV_DEPTH, MIN_INV_DEPTH, WindowProblem
@@ -59,6 +60,9 @@ class EstimatorConfig:
             injected into the first keyframe's initialization, emulating
             an imperfect initializer.
         seed: RNG seed for the bootstrap noise.
+        trace: optional shared :class:`repro.obs.tracer.Trace`; every
+            window optimization folds its per-stage spans into it under
+            a ``window`` parent span tagged with the frame id.
     """
 
     window_size: int = 10
@@ -76,6 +80,7 @@ class EstimatorConfig:
     bootstrap_position_sigma: float = 0.02
     bootstrap_rotation_sigma: float = 0.01
     seed: int = 0
+    trace: Trace | None = None
 
 
 @dataclass
@@ -395,7 +400,12 @@ class SlidingWindowEstimator:
             cost_tolerance=self.config.lm.cost_tolerance,
             step_tolerance=self.config.lm.step_tolerance,
         )
-        lm_result = levenberg_marquardt(problem, lm_config)
+        lm_result = levenberg_marquardt(
+            problem,
+            lm_config,
+            trace=self.config.trace,
+            span_attributes={"frame_id": frame_id, "features": feature_count},
+        )
         optimized = lm_result.problem
 
         # Write the estimates back into the persistent graph.

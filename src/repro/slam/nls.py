@@ -10,11 +10,11 @@ decreased. The iteration count is externally capped — that cap is the
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from time import perf_counter
 
 import numpy as np
 
 from repro.errors import SolverError
+from repro.obs.tracer import Trace
 from repro.runtime.profiler import StageTimings
 from repro.slam.problem import WindowProblem
 from repro.utils.validation import check_positive, check_positive_int
@@ -57,21 +57,34 @@ class LMResult:
     accepted_steps: int
     cost_history: list[float] = field(default_factory=list)
     converged: bool = False
-    # Per-stage wall-clock breakdown summed over all iterations.
+    # Per-stage wall-clock breakdown summed over all iterations — a
+    # StageTimings view computed from the window's span trace.
     timings: StageTimings = field(default_factory=StageTimings)
 
 
-def levenberg_marquardt(problem: WindowProblem, config: LMConfig | None = None) -> LMResult:
+def levenberg_marquardt(
+    problem: WindowProblem,
+    config: LMConfig | None = None,
+    trace: Trace | None = None,
+    span_attributes: dict | None = None,
+) -> LMResult:
     """Minimize the window's MAP objective with LM.
 
     Returns the optimized problem; the input problem is not mutated.
+
+    Every stage (linearize / assemble / solve / update) is recorded as a
+    span on a private per-window trace; ``LMResult.timings`` is the
+    :class:`StageTimings` view over those spans. When ``trace`` is
+    supplied, the window's spans are folded into it under one ``window``
+    parent span (carrying ``span_attributes``) in a single atomic
+    append, so concurrent windows from different threads never
+    interleave.
     """
     config = config or LMConfig()
     damping = config.initial_damping
-    timings = StageTimings()
-    tic = perf_counter()
-    cost = problem.cost()
-    timings.update_s += perf_counter() - tic
+    window_trace = Trace(clock="wall", name="lm-window")
+    with window_trace.span("update", category="nls"):
+        cost = problem.cost()
     result = LMResult(
         problem=problem,
         initial_cost=cost,
@@ -79,28 +92,34 @@ def levenberg_marquardt(problem: WindowProblem, config: LMConfig | None = None) 
         iterations=0,
         accepted_steps=0,
         cost_history=[cost],
-        timings=timings,
     )
 
     for _ in range(config.max_iterations):
         system = problem.build_linear_system()
-        timings.linearize_s += system.linearize_seconds
-        timings.assemble_s += system.assemble_seconds
+        # The build measures its own linearize/assemble split; record
+        # the two phases as already-measured spans.
+        window_trace.add_measured(
+            "linearize", category="nls", duration_s=system.linearize_seconds
+        )
+        window_trace.add_measured(
+            "assemble", category="nls", duration_s=system.assemble_seconds
+        )
         result.iterations += 1
-        tic = perf_counter()
-        try:
-            d_lambda, d_state = system.solve(damping=damping)
-        except SolverError:
-            timings.solve_s += perf_counter() - tic
+        solved = False
+        with window_trace.span("solve", category="nls", damping=damping):
+            try:
+                d_lambda, d_state = system.solve(damping=damping)
+                solved = True
+            except SolverError:
+                pass
+        if not solved:
             damping *= config.damping_up
             result.cost_history.append(cost)
             continue
-        timings.solve_s += perf_counter() - tic
 
-        tic = perf_counter()
-        candidate = problem.stepped(d_lambda, d_state, system)
-        candidate_cost = candidate.cost()
-        timings.update_s += perf_counter() - tic
+        with window_trace.span("update", category="nls"):
+            candidate = problem.stepped(d_lambda, d_state, system)
+            candidate_cost = candidate.cost()
         if np.isfinite(candidate_cost) and candidate_cost < cost:
             relative_drop = (cost - candidate_cost) / max(cost, 1e-12)
             step_norm = max(
@@ -122,4 +141,13 @@ def levenberg_marquardt(problem: WindowProblem, config: LMConfig | None = None) 
 
     result.problem = problem
     result.final_cost = cost
+    result.timings = StageTimings.from_trace(window_trace)
+    if trace is not None:
+        attributes = dict(span_attributes or {})
+        attributes.update(
+            iterations=result.iterations, converged=result.converged
+        )
+        trace.absorb(
+            window_trace, name="window", category="nls", attributes=attributes
+        )
     return result

@@ -12,8 +12,7 @@ analogue of the paper's convex solve).
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 
@@ -29,7 +28,17 @@ from repro.hw.latency import (
 )
 from repro.hw.power import DEFAULT_POWER_MODEL, PowerModel
 from repro.hw.resources import DEFAULT_RESOURCE_MODEL, ResourceModel
+from repro.obs.tracer import global_trace
 from repro.synth.spec import DesignSpec, Objective
+
+# Shared tie-breaking semantics for both solvers: every feasible point
+# whose score lies within this relative band of the global minimum is a
+# candidate, and the candidate with the smallest tiebreak metric wins
+# (first in lexicographic (nd, nm, s) order on a tiebreak tie). The
+# pruned sweep previously used an absolute 1e-15 window with
+# first-seen-wins, which could disagree with the exhaustive grid on
+# plateaus of the latency surface.
+_TIE_RTOL = 1e-12
 
 
 @dataclass(frozen=True)
@@ -132,35 +141,48 @@ def exhaustive_search(
     upper_bound: HardwareConfig | None = None,
 ) -> SearchOutcome:
     """Evaluate the entire (possibly bounded) space; return the optimum."""
-    start = time.perf_counter()
-    nd_values, nm_values, s_values, latency = _latency_grid(spec, upper_bound)
-    feasible = _feasibility_grid(spec, nd_values, nm_values, s_values, resource_model)
-    power = _power_grid(nd_values, nm_values, s_values, power_model)
-
-    if spec.objective is Objective.POWER:
-        feasible &= latency <= spec.latency_budget_s
-        score = np.where(feasible, power, np.inf)
-        tiebreak = latency
-    else:
-        score = np.where(feasible, latency, np.inf)
-        tiebreak = power
-
-    if not np.isfinite(score).any():
-        raise InfeasibleDesignError(
-            f"no (nd, nm, s) meets latency <= {spec.latency_budget_s * 1e3:.1f} ms "
-            f"within the resources of {spec.platform.name}"
+    with global_trace().span(
+        "exhaustive_search", category="synth", objective=spec.objective.value
+    ) as span:
+        nd_values, nm_values, s_values, latency = _latency_grid(spec, upper_bound)
+        feasible = _feasibility_grid(
+            spec, nd_values, nm_values, s_values, resource_model
         )
-    # Among minimal-score points prefer the smallest tiebreak metric.
-    best = np.min(score)
-    candidates = np.argwhere(score <= best * (1 + 1e-12))
-    order = np.argsort([tiebreak[tuple(c)] for c in candidates])
-    i, j, k = candidates[order[0]]
-    config = HardwareConfig(int(nd_values[i]), int(nm_values[j]), int(s_values[k]))
+        power = _power_grid(nd_values, nm_values, s_values, power_model)
+
+        if spec.objective is Objective.POWER:
+            feasible &= latency <= spec.latency_budget_s
+            score = np.where(feasible, power, np.inf)
+            tiebreak = latency
+        else:
+            score = np.where(feasible, latency, np.inf)
+            tiebreak = power
+
+        if not np.isfinite(score).any():
+            raise InfeasibleDesignError(
+                f"no (nd, nm, s) meets latency <= "
+                f"{spec.latency_budget_s * 1e3:.1f} ms "
+                f"within the resources of {spec.platform.name}"
+            )
+        # Among in-band points prefer the smallest tiebreak metric; the
+        # stable sort makes the lexicographically first (nd, nm, s) win
+        # on exact tiebreak ties — the same total order pruned_search
+        # maintains incrementally.
+        best = np.min(score)
+        candidates = np.argwhere(score <= best * (1 + _TIE_RTOL))
+        order = np.argsort(
+            [tiebreak[tuple(c)] for c in candidates], kind="stable"
+        )
+        i, j, k = candidates[order[0]]
+        config = HardwareConfig(
+            int(nd_values[i]), int(nm_values[j]), int(s_values[k])
+        )
+        span.attributes["points"] = int(score.size)
     return SearchOutcome(
         config=config,
         power_w=float(power[i, j, k]),
         latency_s=float(latency[i, j, k]),
-        solve_seconds=time.perf_counter() - start,
+        solve_seconds=span.duration_s,
         evaluated_points=int(score.size),
     )
 
@@ -175,81 +197,101 @@ def pruned_search(
     For the POWER objective: power is strictly increasing in every knob,
     so knobs are swept in increasing-power order and a (nd, nm) pair is
     abandoned as soon as its cheapest completion already exceeds the
-    incumbent's power.
+    incumbent band.
+
+    Tie-breaking matches :func:`exhaustive_search` exactly: a running
+    candidate set keeps every feasible point within ``_TIE_RTOL`` of the
+    current best score (filtered whenever the minimum drops), and the
+    winner is the candidate with the smallest tiebreak metric,
+    lexicographically first (nd, nm, s) on a tie — the incremental form
+    of the exhaustive band + stable argsort.
     """
-    start = time.perf_counter()
-    nd_values, nm_values, s_values, latency = _latency_grid(spec)
-    feasible = _feasibility_grid(spec, nd_values, nm_values, s_values, resource_model)
-
-    best_power = np.inf
-    best_latency = np.inf
-    best: HardwareConfig | None = None
-    touched = 0
-    minimize_power_objective = spec.objective is Objective.POWER
-
-    for i, nd in enumerate(nd_values):
-        # Cheapest possible completion of this nd.
-        floor = power_model.power(HardwareConfig(int(nd), int(nm_values[0]), int(s_values[0])))
-        if minimize_power_objective and floor >= best_power:
-            break  # nd only grows from here; all further power floors do too
-        for j, nm in enumerate(nm_values):
-            floor = power_model.power(HardwareConfig(int(nd), int(nm), int(s_values[0])))
-            if minimize_power_objective and floor >= best_power:
-                break
-            for k, s in enumerate(s_values):
-                touched += 1
-                config = HardwareConfig(int(nd), int(nm), int(s))
-                power = power_model.power(config)
-                if minimize_power_objective and power >= best_power:
-                    break  # s only grows power further
-                if not feasible[i, j, k]:
-                    continue
-                lat = latency[i, j, k]
-                if minimize_power_objective:
-                    if lat <= spec.latency_budget_s:
-                        best_power, best_latency, best = power, lat, config
-                        break
-                else:
-                    if lat < best_latency - 1e-15 or (
-                        abs(lat - best_latency) <= 1e-15 and power < best_power
-                    ):
-                        best_power, best_latency, best = power, lat, config
-
-    if best is None:
-        raise InfeasibleDesignError(
-            f"no (nd, nm, s) meets the constraints on {spec.platform.name}"
+    with global_trace().span(
+        "pruned_search", category="synth", objective=spec.objective.value
+    ) as span:
+        nd_values, nm_values, s_values, latency = _latency_grid(spec)
+        feasible = _feasibility_grid(
+            spec, nd_values, nm_values, s_values, resource_model
         )
+
+        min_score = np.inf
+        # In-band (score, tiebreak, power, latency, config) tuples in
+        # sweep (= lexicographic) order.
+        candidates: list[tuple[float, float, float, float, HardwareConfig]] = []
+        touched = 0
+        minimize_power_objective = spec.objective is Objective.POWER
+
+        def band() -> float:
+            return min_score * (1 + _TIE_RTOL)
+
+        for i, nd in enumerate(nd_values):
+            # Cheapest possible completion of this nd.
+            floor = power_model.power(
+                HardwareConfig(int(nd), int(nm_values[0]), int(s_values[0]))
+            )
+            if minimize_power_objective and floor > band():
+                break  # nd only grows from here; all further power floors do too
+            for j, nm in enumerate(nm_values):
+                floor = power_model.power(
+                    HardwareConfig(int(nd), int(nm), int(s_values[0]))
+                )
+                if minimize_power_objective and floor > band():
+                    break
+                for k, s in enumerate(s_values):
+                    touched += 1
+                    config = HardwareConfig(int(nd), int(nm), int(s))
+                    power = power_model.power(config)
+                    if minimize_power_objective and power > band():
+                        break  # s only grows power further
+                    if not feasible[i, j, k]:
+                        continue
+                    lat = latency[i, j, k]
+                    if minimize_power_objective:
+                        if lat > spec.latency_budget_s:
+                            continue
+                        score, tiebreak = power, lat
+                    else:
+                        score, tiebreak = lat, power
+                    if score < min_score:
+                        min_score = score
+                        candidates = [
+                            c for c in candidates if c[0] <= band()
+                        ]
+                    if score <= band():
+                        candidates.append((score, tiebreak, power, lat, config))
+
+        if not candidates:
+            raise InfeasibleDesignError(
+                f"no (nd, nm, s) meets the constraints on {spec.platform.name}"
+            )
+        winner = candidates[0]
+        for candidate in candidates[1:]:
+            if candidate[1] < winner[1]:  # strict: first-seen wins ties
+                winner = candidate
+        span.attributes["points"] = touched
     return SearchOutcome(
-        config=best,
-        power_w=best_power,
-        latency_s=best_latency,
-        solve_seconds=time.perf_counter() - start,
+        config=winner[4],
+        power_w=winner[2],
+        latency_s=winner[3],
+        solve_seconds=span.duration_s,
         evaluated_points=touched,
     )
 
 
 def minimize_power(spec: DesignSpec, **kwargs) -> SearchOutcome:
     """Equ. 11: min power subject to latency and resource constraints."""
+    # dataclasses.replace keeps every other field — the old hand-copied
+    # constructor silently reset any field it didn't enumerate.
     if spec.objective is not Objective.POWER:
-        spec = DesignSpec(
-            latency_budget_s=spec.latency_budget_s,
-            platform=spec.platform,
-            resource_budget=spec.resource_budget,
-            workload=spec.workload,
-            iterations=spec.iterations,
-            objective=Objective.POWER,
-        )
+        spec = replace(spec, objective=Objective.POWER)
     return exhaustive_search(spec, **kwargs)
 
 
 def minimize_latency(spec: DesignSpec, **kwargs) -> SearchOutcome:
     """Equ. 12: min latency subject to resource constraints only."""
-    spec = DesignSpec(
+    spec = replace(
+        spec,
         latency_budget_s=max(spec.latency_budget_s, 1e-9),
-        platform=spec.platform,
-        resource_budget=spec.resource_budget,
-        workload=spec.workload,
-        iterations=spec.iterations,
         objective=Objective.LATENCY,
     )
     return exhaustive_search(spec, **kwargs)

@@ -13,7 +13,7 @@ solve lands within a small optimality gap of the exact optimum — the
 from __future__ import annotations
 
 import itertools
-import time
+from dataclasses import replace
 
 import numpy as np
 from scipy.optimize import NonlinearConstraint, minimize
@@ -30,6 +30,7 @@ from repro.hw.latency import (
 )
 from repro.hw.power import DEFAULT_POWER_MODEL, PowerModel
 from repro.hw.resources import DEFAULT_RESOURCE_MODEL, ResourceModel
+from repro.obs.tracer import global_trace
 from repro.synth.optimizer import SearchOutcome
 from repro.synth.spec import DesignSpec
 
@@ -83,7 +84,16 @@ def relaxation_search(
     power_model: PowerModel = DEFAULT_POWER_MODEL,
 ) -> SearchOutcome:
     """Solve Equ. 11 by continuous relaxation + rounding + local repair."""
-    start = time.perf_counter()
+    with global_trace().span("relaxation_search", category="synth") as span:
+        outcome = _solve(spec, resource_model, power_model)
+    return replace(outcome, solve_seconds=span.duration_s)
+
+
+def _solve(
+    spec: DesignSpec,
+    resource_model: ResourceModel,
+    power_model: PowerModel,
+) -> SearchOutcome:
     latency = _ContinuousLatency(spec)
 
     def power_of(x: np.ndarray) -> float:
@@ -171,6 +181,6 @@ def relaxation_search(
         latency_s=window_latency_seconds(
             spec.workload, best, spec.iterations, spec.platform
         ),
-        solve_seconds=time.perf_counter() - start,
+        solve_seconds=0.0,  # stamped by the caller's span
         evaluated_points=int(solution.nit),
     )

@@ -162,3 +162,59 @@ class TestServeCli:
         assert completed.returncode == 2
         assert "smokey" in completed.stderr
         assert "did you mean" in completed.stderr
+
+
+class TestObsCli:
+    """``python -m repro.obs``: trace report + Chrome schema validation,
+    fed by a real serve run's exports."""
+
+    def _serve_with_exports(self, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        chrome = tmp_path / "trace.json"
+        obs = tmp_path / "OBS_METRICS.json"
+        completed = run_entry_point(
+            [
+                "-m",
+                "repro.serve",
+                "smoke",
+                "--sessions",
+                "2",
+                "--duration",
+                "1.0",
+                "--no-cache",
+                "--output",
+                str(tmp_path / "SERVE_METRICS.json"),
+                "--trace",
+                str(trace),
+                "--chrome-trace",
+                str(chrome),
+                "--obs-metrics",
+                str(obs),
+            ],
+            tmp_path,
+        )
+        assert_clean(completed, "repro.serve with trace exports")
+        return trace, chrome, obs
+
+    def test_serve_exports_then_report_and_validate(self, tmp_path):
+        trace, chrome, obs = self._serve_with_exports(tmp_path)
+        assert trace.exists() and chrome.exists() and obs.exists()
+        assert json.loads(obs.read_text())["counters"][
+            "serve_windows_served_total"
+        ] > 0
+
+        report = run_entry_point(["-m", "repro.obs", "report", str(trace)], tmp_path)
+        assert_clean(report, "repro.obs report")
+        assert "serve" in report.stdout and "service" in report.stdout
+
+        validate = run_entry_point(
+            ["-m", "repro.obs", "validate", str(chrome)], tmp_path
+        )
+        assert_clean(validate, "repro.obs validate")
+        assert "valid Chrome trace" in validate.stdout
+
+    def test_report_missing_file_exits_two(self, tmp_path):
+        completed = run_entry_point(
+            ["-m", "repro.obs", "report", str(tmp_path / "nope.jsonl")], tmp_path
+        )
+        assert completed.returncode == 2

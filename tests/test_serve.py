@@ -260,3 +260,68 @@ class TestServeRuns:
         report = run_mini(mini_profile(num_sessions=2))
         path = report.write_metrics(tmp_path / "SERVE_METRICS.json")
         assert json.loads(path.read_text()) == report.metrics
+
+
+class TestServeTraces:
+    """The virtual-time span trace: deterministic, schema-valid, and
+    consistent with the telemetry counters."""
+
+    def _run(self, jobs=1):
+        profile = mini_profile()
+        service = LocalizationService(
+            profile, engine=Engine(use_disk=False, jobs=jobs)
+        )
+        return service.run()
+
+    def test_trace_byte_identical_across_runs(self):
+        dumps = [self._run().trace.to_jsonl() for _ in range(2)]
+        assert dumps[0] == dumps[1]
+
+    def test_trace_byte_identical_across_worker_counts(self):
+        assert self._run(jobs=1).trace.to_jsonl() == self._run(jobs=4).trace.to_jsonl()
+
+    def test_span_counts_match_telemetry(self):
+        report = self._run()
+        spans = report.trace.spans
+        served = report.metrics["totals"]["windows_served"]
+        names = [s.name for s in spans]
+        assert names.count("service") == served
+        assert names.count("queue_wait") == served
+        assert names.count("batch") == report.metrics["batches"]["count"]
+        reconfigs = sum(
+            s["reconfigurations"] for s in report.metrics["sessions"]
+        )
+        assert names.count("reconfig") == reconfigs
+        # All spans are virtual-timeline spans on track 0, category serve.
+        assert all(s.track == 0 and s.category == "serve" for s in spans)
+
+    def test_service_spans_sum_to_busy_time(self):
+        report = self._run()
+        service_total = sum(
+            s.duration_s for s in report.trace.spans if s.name == "service"
+        )
+        busy = sum(i["busy_seconds"] for i in report.metrics["instances"])
+        assert service_total == pytest.approx(busy)
+
+    def test_chrome_export_is_schema_valid(self, tmp_path):
+        from repro.obs import validate_chrome_trace
+
+        report = self._run()
+        path = report.write_chrome_trace(tmp_path / "trace.json")
+        assert validate_chrome_trace(json.loads(path.read_text())) == []
+
+    def test_obs_metrics_export_matches_telemetry(self, tmp_path):
+        report = self._run()
+        path = report.write_obs_metrics(tmp_path / "OBS_METRICS.json")
+        data = json.loads(path.read_text())
+        totals = report.metrics["totals"]
+        assert data["counters"]["serve_windows_served_total"] == totals[
+            "windows_served"
+        ]
+        assert (
+            data["histograms"]["serve_latency_seconds"]["count"]
+            == totals["windows_served"]
+        )
+        assert data["gauges"]["serve_queue_depth_max"] == report.metrics[
+            "queue"
+        ]["depth_max"]

@@ -16,6 +16,7 @@ from repro.synth import (
     high_perf_design,
     low_power_design,
     minimize_latency,
+    minimize_power,
     pareto_frontier,
     perturb_and_validate,
     pruned_search,
@@ -156,3 +157,129 @@ class TestDse:
         assert metrics.num_designs == 90_000
         assert metrics.generator_seconds < 3.0
         assert metrics.speed_ratio > 1e6
+
+
+class TestSearchEquivalence:
+    """Differential sweep: pruned and exhaustive must agree exactly.
+
+    The two solvers historically used different tie-breaking (absolute
+    1e-15 first-seen-wins vs a relative 1e-12 band with a stable
+    tiebreak sort); they now share one semantics, so on any spec they
+    must return the identical HardwareConfig tuple.
+    """
+
+    def _random_spec(self, rng, objective):
+        from repro.data.stats import WindowStats
+
+        stats = WindowStats(
+            num_features=int(rng.integers(40, 400)),
+            avg_observations=float(rng.uniform(2.0, 6.0)),
+            num_keyframes=int(rng.integers(4, 12)),
+            num_marginalized=int(rng.integers(5, 60)),
+        )
+        spec = DesignSpec(
+            latency_budget_s=1.0,
+            workload=stats,
+            iterations=int(rng.integers(1, 7)),
+            resource_budget=float(rng.uniform(0.6, 1.0)),
+            objective=Objective.LATENCY,
+        )
+        if objective is Objective.LATENCY:
+            return spec
+        # POWER needs a satisfiable budget: derive one from the latency
+        # optimum of the same workload.
+        floor = minimize_latency(spec).latency_s
+        return DesignSpec(
+            latency_budget_s=floor * float(rng.uniform(1.05, 3.0)),
+            workload=stats,
+            iterations=spec.iterations,
+            resource_budget=spec.resource_budget,
+            objective=Objective.POWER,
+        )
+
+    @pytest.mark.parametrize("objective", [Objective.LATENCY, Objective.POWER])
+    def test_randomized_sweep_agrees(self, objective):
+        rng = np.random.default_rng(20260806)
+        for _ in range(20):
+            spec = self._random_spec(rng, objective)
+            a = exhaustive_search(spec)
+            b = pruned_search(spec)
+            assert (a.config.nd, a.config.nm, a.config.s) == (
+                b.config.nd,
+                b.config.nm,
+                b.config.s,
+            ), f"solvers disagree on {spec}"
+            assert a.power_w == b.power_w
+            assert a.latency_s == b.latency_s
+
+    def test_solve_seconds_come_from_spans(self):
+        from repro.obs import global_trace
+
+        before = len(global_trace().spans)
+        outcome = exhaustive_search(DesignSpec(latency_budget_s=0.033))
+        spans = global_trace().spans[before:]
+        assert any(
+            s.name == "exhaustive_search" and s.category == "synth" for s in spans
+        )
+        assert outcome.solve_seconds > 0.0
+
+
+class TestSpecFieldPreservation:
+    """minimize_power/minimize_latency must keep every DesignSpec field
+    (the old hand-copied constructor silently reset unlisted fields)."""
+
+    def _custom_spec(self):
+        from repro.data.stats import WindowStats
+
+        return DesignSpec(
+            latency_budget_s=0.040,
+            platform=KINTEX7_160T,
+            resource_budget=0.85,
+            workload=WindowStats(
+                num_features=150,
+                avg_observations=4.0,
+                num_keyframes=9,
+                num_marginalized=30,
+            ),
+            iterations=3,
+            objective=Objective.LATENCY,
+        )
+
+    def test_minimize_power_round_trips_fields(self):
+        import dataclasses
+
+        spec = self._custom_spec()
+        outcome = minimize_power(spec)
+        expected = exhaustive_search(
+            dataclasses.replace(spec, objective=Objective.POWER)
+        )
+        assert outcome.config == expected.config
+        assert outcome.power_w == expected.power_w
+
+    def test_minimize_latency_round_trips_fields(self):
+        import dataclasses
+
+        spec = self._custom_spec()
+        outcome = minimize_latency(spec)
+        expected = exhaustive_search(
+            dataclasses.replace(spec, objective=Objective.LATENCY)
+        )
+        assert outcome.config == expected.config
+        assert outcome.latency_s == expected.latency_s
+
+    def test_non_default_budget_changes_the_answer(self):
+        """Regression guard: the preserved fields actually matter — a
+        tight resource budget must steer minimize_power elsewhere."""
+        spec = self._custom_spec()
+        tight = dataclasses_replace_budget(spec, 0.85)
+        loose = dataclasses_replace_budget(spec, 1.0)
+        a = minimize_latency(tight)
+        b = minimize_latency(loose)
+        assert a.latency_s > b.latency_s
+        assert a.config != b.config
+
+
+def dataclasses_replace_budget(spec, budget):
+    import dataclasses
+
+    return dataclasses.replace(spec, resource_budget=budget)
