@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Non-gating solve-stage regression check for the perf-smoke CI job.
+
+Compares the freshly measured ``lm_solve.stage_ms.solve_ms`` of the
+batched backend against the committed ``BENCH_estimator.json`` baseline
+and emits a GitHub Actions ``::warning::`` annotation — *not* a failure
+— when the solve stage regressed by more than the threshold. CI runners
+are noisy machines; the annotation makes a regression loud in the PR
+checks without letting runner jitter block merges.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/check_solve_regression.py \
+        --baseline BENCH_estimator.baseline.json \
+        --current BENCH_estimator.json \
+        [--threshold 0.25] [--backend batched]
+
+Always exits 0 unless an input file is missing or malformed (exit 2):
+a broken harness should be visible, a slow runner should not.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def solve_ms(report: dict, backend: str) -> float:
+    return float(report["backends"][backend]["lm_solve"]["stage_ms"]["solve_ms"])
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", type=Path, required=True)
+    parser.add_argument("--current", type=Path, required=True)
+    parser.add_argument(
+        "--threshold", type=float, default=0.25,
+        help="relative regression that triggers the warning (0.25 = +25%%)",
+    )
+    parser.add_argument("--backend", default="batched")
+    args = parser.parse_args()
+
+    try:
+        baseline = solve_ms(json.loads(args.baseline.read_text()), args.backend)
+        current = solve_ms(json.loads(args.current.read_text()), args.backend)
+    except (OSError, KeyError, ValueError, TypeError) as error:
+        print(f"::error::solve regression check could not read inputs: {error}")
+        return 2
+
+    if baseline <= 0.0:
+        print(f"::warning::baseline solve_ms is {baseline}; skipping comparison")
+        return 0
+
+    change = (current - baseline) / baseline
+    summary = (
+        f"solve_ms {args.backend}: baseline {baseline:.2f} ms, "
+        f"current {current:.2f} ms ({change:+.1%})"
+    )
+    if change > args.threshold:
+        print(
+            f"::warning title=solve-stage regression::{summary} exceeds the "
+            f"{args.threshold:.0%} budget — investigate before merging"
+        )
+    else:
+        print(summary)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -62,6 +62,9 @@ def encode_run_result(run: RunResult) -> tuple[dict[str, np.ndarray], dict]:
         "timing_assemble": _float_array(w.timings.assemble_s for w in windows),
         "timing_solve": _float_array(w.timings.solve_s for w in windows),
         "timing_update": _float_array(w.timings.update_s for w in windows),
+        "timing_schur": _float_array(w.timings.schur_s for w in windows),
+        "timing_chol": _float_array(w.timings.chol_s for w in windows),
+        "timing_backsub": _float_array(w.timings.backsub_s for w in windows),
         "stats_num_features": _int_array(w.stats.num_features for w in windows),
         "stats_avg_observations": _float_array(
             w.stats.avg_observations for w in windows
@@ -116,6 +119,15 @@ def decode_run_result(arrays, meta) -> RunResult:
                     assemble_s=float(arrays["timing_assemble"][i]),
                     solve_s=float(arrays["timing_solve"][i]),
                     update_s=float(arrays["timing_update"][i]),
+                    # Pre-split artifacts decode with zero sub-phase
+                    # timings rather than failing (stage version gates
+                    # reuse anyway).
+                    schur_s=float(arrays["timing_schur"][i])
+                    if "timing_schur" in arrays else 0.0,
+                    chol_s=float(arrays["timing_chol"][i])
+                    if "timing_chol" in arrays else 0.0,
+                    backsub_s=float(arrays["timing_backsub"][i])
+                    if "timing_backsub" in arrays else 0.0,
                 ),
             )
         )

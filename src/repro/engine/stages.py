@@ -178,7 +178,11 @@ class EstimatorStage(Stage):
     # v2: batched linearization backend (PR 2) — numerics differ from the
     # loop backend at rounding level and RunResult carries stage timings,
     # so loop-era artifacts must not be silently reused.
-    version = "2"
+    # v3: SolverPlan solve path — jitter is now applied only on
+    # factorization failure (was an unconditional 1e-9), shifting the
+    # solve numerics at rounding level, and RunResult carries the
+    # schur/chol/backsub timing split.
+    version = "3"
 
     def compute(self, config: EstimatorRequest, engine):
         sequence = engine.run(SEQUENCE, config.sequence)
@@ -201,7 +205,8 @@ class EstimatorStage(Stage):
 class TraceStage(Stage):
     name = "trace-cosim"
     # v2: consumes estimator-run v2 outputs (batched backend numerics).
-    version = "2"
+    # v3: consumes estimator-run v3 outputs (SolverPlan solve numerics).
+    version = "3"
 
     def compute(self, config: TraceRequest, engine):
         run = engine.run(ESTIMATOR, config.run)
@@ -252,7 +257,8 @@ class SynthesisStage(Stage):
 class ReplayStage(Stage):
     name = "runtime-replay"
     # v2: consumes estimator-run v2 outputs (batched backend numerics).
-    version = "2"
+    # v3: consumes estimator-run v3 outputs (SolverPlan solve numerics).
+    version = "3"
 
     def compute(self, config: ReplayRequest, engine):
         run = engine.run(ESTIMATOR, config.run)

@@ -10,6 +10,13 @@ the cycle cost. Tests assert the solution is bit-level identical to the
 software solver's, which is the correctness contract behind every
 speedup claim: the accelerator computes the same update the algorithm
 specifies.
+
+Since the SolverPlan refactor the *numbers* come from the very same
+:class:`repro.linalg.plan.SolverPlan` the software solver executes —
+there is one structured-solve implementation in the codebase, not a
+hardware copy of it — while the Fig. 10 Evaluate/Update timeline still
+factors the (intact) reduced matrix the plan produced to obtain the
+round-level cycle count.
 """
 
 from __future__ import annotations
@@ -26,9 +33,8 @@ from repro.hw.latency import (
     jacobian_feature_latency,
 )
 from repro.hw.sim.cholesky_pipe import simulate_cholesky
-from repro.linalg.cholesky import solve_cholesky
-from repro.linalg.schur import d_type_back_substitute, d_type_schur
-from repro.slam.problem import WindowProblem, _U_FLOOR
+from repro.linalg.plan import SolverPlan, default_plan_cache
+from repro.slam.problem import WindowProblem
 
 
 @dataclass
@@ -47,14 +53,21 @@ def run_iteration_functional(
     config: HardwareConfig,
     damping: float = 0.0,
     platform: FpgaPlatform = ZC706,
+    plan: SolverPlan | None = None,
 ) -> FunctionalExecution:
     """Execute one NLS iteration along the accelerator data path.
 
     The numerical result matches
     :meth:`repro.slam.problem.LinearSystem.solve` exactly — both paths
-    run the same kernels in the same order; the hardware path
+    execute the *same* :class:`~repro.linalg.plan.SolverPlan` object (or
+    one of identical structure from the shared cache); the hardware path
     additionally runs the Cholesky through the Fig. 10 Evaluate/Update
     timeline to obtain its true round-level cycle count.
+
+    Args:
+        plan: optionally the exact plan the serving tier / software
+            solver holds; when None the process-wide plan cache supplies
+            one for the window's structure.
     """
     system = problem.build_linear_system()
     stats_features = system.num_features
@@ -70,23 +83,23 @@ def run_iteration_functional(
     )
     cycles = stats_features * per_feature
 
-    # The actual elimination, on the actual numbers.
-    u_damped = np.maximum(system.u_diag, _U_FLOOR) + damping
-    v_damped = system.v_block + damping * np.eye(system.v_block.shape[0])
-    reduced, reduced_rhs = d_type_schur(
-        v_damped, system.w_block, u_damped, b_x=system.b_x, b_y=system.b_y
-    )
-    assert reduced_rhs is not None
+    # The actual elimination, on the actual numbers — through the shared
+    # solve plan (copy=True: the timeline below reuses the plan arenas'
+    # reduced matrix, and callers keep the result).
+    if plan is None:
+        plan = default_plan_cache().get(stats_features, system.b_y.shape[0])
+    d_lambda, d_state = system.solve(damping=damping, plan=plan, copy=True)
 
-    # Functional Cholesky: factor the real reduced matrix while the
-    # Evaluate/Update timeline counts its cycles.
-    jitter = 1e-9
-    timeline = simulate_cholesky(
-        s=config.s, matrix=reduced + jitter * np.eye(reduced.shape[0])
-    )
+    # Functional Cholesky: factor the reduced matrix the plan actually
+    # solved (including any failure-triggered jitter) while the
+    # Evaluate/Update timeline counts its cycles. ``plan.reduced`` is
+    # left intact by execute() precisely for this.
+    factored = plan.reduced
+    if plan.last_stats.jitter_applied:
+        factored = plan.reduced.copy()
+        factored.flat[:: factored.shape[0] + 1] += plan.last_stats.jitter
+    timeline = simulate_cholesky(s=config.s, matrix=factored)
     cycles += timeline.total_cycles
-    d_state = solve_cholesky(timeline.factor, reduced_rhs)
-    d_lambda = d_type_back_substitute(system.w_block, u_damped, system.b_x, d_state)
 
     # Back-substitution block (fixed-function).
     from repro.data.stats import WindowStats

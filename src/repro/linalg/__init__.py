@@ -6,29 +6,61 @@ substitution (FBSub), the D-type and M-type Schur complements (Sec. 4.4),
 the blocked matrix inverse of Equ. 5, and the compact S-matrix storage of
 Sec. 3.3. The cycle-level simulator executes these kernels while it
 counts cycles, so functional results and timing come from the same code.
+
+:mod:`repro.linalg.plan` composes the allocation-free variants of these
+kernels into the :class:`~repro.linalg.plan.SolverPlan` every solve path
+(estimator, functional HW sim, serving tier) executes.
 """
 
 from repro.linalg.cholesky import (
-    cholesky_evaluate_update,
-    forward_substitution,
     backward_substitution,
+    backward_substitution_transposed_into,
+    cholesky_evaluate_update,
+    cholesky_inplace,
+    forward_substitution,
+    forward_substitution_into,
     solve_cholesky,
     solve_spd,
 )
-from repro.linalg.schur import d_type_schur, m_type_schur, schur_condense
+from repro.linalg.schur import (
+    d_type_back_substitute,
+    d_type_back_substitute_into,
+    d_type_schur,
+    d_type_schur_into,
+    m_type_schur,
+    schur_condense,
+)
 from repro.linalg.blocked import blocked_inverse
+from repro.linalg.plan import (
+    PlanSolveStats,
+    SolverPlan,
+    SolverPlanCache,
+    default_plan_cache,
+    reset_default_plan_cache,
+)
 from repro.linalg.smatrix import SMatrixLayout, CompactSMatrix
 
 __all__ = [
     "cholesky_evaluate_update",
+    "cholesky_inplace",
     "forward_substitution",
+    "forward_substitution_into",
     "backward_substitution",
+    "backward_substitution_transposed_into",
     "solve_cholesky",
     "solve_spd",
     "d_type_schur",
+    "d_type_schur_into",
+    "d_type_back_substitute",
+    "d_type_back_substitute_into",
     "m_type_schur",
     "schur_condense",
     "blocked_inverse",
+    "PlanSolveStats",
+    "SolverPlan",
+    "SolverPlanCache",
+    "default_plan_cache",
+    "reset_default_plan_cache",
     "SMatrixLayout",
     "CompactSMatrix",
 ]

@@ -1,0 +1,428 @@
+"""The reusable structured-solve plan: symbolic structure + workspace arenas.
+
+The arrow system of one LM iteration has a *structure* (feature count
+``p``, stacked keyframe dimension ``q``, the D-type Schur elimination
+order) that is fixed for the whole window — and usually for many
+consecutive windows, since the sliding-window estimator keeps the same
+window shape frame after frame. The paper's accelerator exploits exactly
+this: the datapath is configured once per structure and then streamed
+(Sec. 3.1/5); the CICC 2022 follow-up reconfigures the *same* datapath
+across precisions. :class:`SolverPlan` is the software mirror of that
+idea:
+
+* built once per structure, it preallocates every buffer the solve
+  stage touches (Schur arenas, the Cholesky factor, substitution and
+  back-substitution vectors), so :meth:`SolverPlan.execute` performs
+  **zero per-iteration array allocation** — verified by a tracemalloc
+  assertion in ``tests/test_linalg_plan.py``;
+* it is reused across all LM iterations of a window and, through
+  :class:`SolverPlanCache`, across windows of identical structure (the
+  hit-rate counters surface in ``BENCH_estimator.json``);
+* a ``precision="mixed"`` plan factors in float32 and recovers float64
+  accuracy through iterative refinement behind the same seam;
+* every layer that solves the arrow system — the NLS solver, the
+  functional accelerator simulation, the serving tier's
+  ``--fidelity functional`` path — executes the *same* plan object, so
+  their agreement is by construction, and the dense float64 path
+  (:meth:`repro.slam.problem.LinearSystem.solve_dense`) remains the
+  independent conformance oracle.
+
+When SciPy is importable the factorization/substitution run through the
+in-place LAPACK wrappers (``potrf``/``trtrs`` on Fortran-ordered
+workspaces — no copies); otherwise the allocation-free NumPy kernels in
+:mod:`repro.linalg.cholesky` are used. Both paths share the retry
+policy: **no jitter unless the factorization fails**, then escalating
+diagonal jitter, with the applied value reported in
+:class:`PlanSolveStats`.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from time import perf_counter
+
+import numpy as np
+
+from repro.errors import ConfigurationError, SolverError
+from repro.linalg.cholesky import (
+    backward_substitution_transposed_into,
+    cholesky_inplace,
+    forward_substitution_into,
+)
+from repro.linalg.schur import d_type_back_substitute_into, d_type_schur_into
+
+try:  # pragma: no cover - exercised through whichever backend is present
+    from scipy.linalg import cholesky as _scipy_cholesky
+    from scipy.linalg import solve_triangular as _scipy_solve_triangular
+
+    HAVE_SCIPY = True
+except ImportError:  # pragma: no cover
+    _scipy_cholesky = None
+    _scipy_solve_triangular = None
+    HAVE_SCIPY = False
+
+PRECISIONS = ("float64", "mixed")
+
+#: Diagonal floor applied to the landmark block before elimination —
+#: mirrors ``repro.slam.problem._U_FLOOR`` (kept local to avoid a
+#: linalg -> slam dependency; the value is asserted equal in tests).
+U_FLOOR = 1e-8
+
+#: Jitter escalation schedule: nothing on the first attempt, then each
+#: retry multiplies by JITTER_GROWTH starting from JITTER_INITIAL.
+JITTER_INITIAL = 1e-9
+JITTER_GROWTH = 100.0
+MAX_FACTOR_ATTEMPTS = 6
+
+#: Mixed-precision refinement: iterate until the float64 residual is
+#: below RTOL relative to the RHS, or the iteration budget is spent.
+REFINEMENT_RTOL = 1e-13
+REFINEMENT_MAX_ITERATIONS = 8
+
+
+@dataclass
+class PlanSolveStats:
+    """Per-execute measurements the observability layer consumes.
+
+    Attributes:
+        schur_seconds / chol_seconds / backsub_seconds: wall-clock split
+            of the three solve phases (the ``schur``/``chol``/``backsub``
+            child spans under the NLS ``solve`` span).
+        jitter: diagonal jitter that made the factorization succeed
+            (0.0 when the first, jitter-free attempt worked).
+        jitter_applied: whether any jitter was needed.
+        factor_attempts: factorization attempts including the final
+            successful one.
+        refinement_iterations: float64 refinement steps taken (mixed
+            precision only; 0 on the float64 path).
+    """
+
+    schur_seconds: float = 0.0
+    chol_seconds: float = 0.0
+    backsub_seconds: float = 0.0
+    jitter: float = 0.0
+    jitter_applied: bool = False
+    factor_attempts: int = 1
+    refinement_iterations: int = 0
+
+
+class SolverPlan:
+    """One structure's solve schedule plus its preallocated arenas.
+
+    Args:
+        num_features: ``p``, the diagonal landmark block size.
+        state_dim: ``q``, the stacked keyframe dimension.
+        precision: ``"float64"`` (default) or ``"mixed"`` — float32
+            factorization + float64 iterative refinement.
+    """
+
+    def __init__(
+        self, num_features: int, state_dim: int, precision: str = "float64"
+    ) -> None:
+        if num_features < 0 or state_dim < 0:
+            raise ConfigurationError("plan dimensions must be non-negative")
+        if precision not in PRECISIONS:
+            raise ConfigurationError(
+                f"precision must be one of {PRECISIONS}, got {precision!r}"
+            )
+        self.num_features = int(num_features)
+        self.state_dim = int(state_dim)
+        self.precision = precision
+        p, q = self.num_features, self.state_dim
+
+        # Schur arenas. ``reduced`` stays intact after execute() — the
+        # functional simulator feeds it to the cycle-level Cholesky
+        # timeline, and mixed-precision refinement needs the true A.
+        self.u_damped = np.empty(p)
+        self.u_inv = np.empty(p)
+        self.w_scaled = np.empty((q, p))
+        self.scratch = np.empty((q, q))
+        self.reduced = np.empty((q, q))
+        self.reduced_rhs = np.empty(q)
+        # Factor workspace: Fortran order so LAPACK potrf/trtrs run truly
+        # in place; the NumPy fallback is layout-agnostic.
+        self.factor = np.empty((q, q), order="F")
+        self.solve_vec = np.empty(q)
+        self.d_state = np.empty(q)
+        self.d_lambda = np.empty(p)
+        if precision == "mixed":
+            self.factor32 = np.empty((q, q), dtype=np.float32, order="F")
+            self.rhs32 = np.empty(q, dtype=np.float32)
+            self.residual = np.empty(q)
+        self.last_stats = PlanSolveStats()
+        self.executions = 0
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+
+    def matches(self, num_features: int, state_dim: int) -> bool:
+        """Whether this plan's symbolic structure fits the given system."""
+        return self.num_features == num_features and self.state_dim == state_dim
+
+    @property
+    def key(self) -> tuple[int, int, str]:
+        return (self.num_features, self.state_dim, self.precision)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def execute(
+        self,
+        u_diag: np.ndarray,
+        w_block: np.ndarray,
+        v_block: np.ndarray,
+        b_x: np.ndarray,
+        b_y: np.ndarray,
+        damping: float = 0.0,
+    ) -> tuple[np.ndarray, np.ndarray, PlanSolveStats]:
+        """Run the structured solve for one iteration's numbers.
+
+        Returns ``(d_lambda, d_state, stats)``. The two update vectors
+        are *views into the plan's arenas* — valid until the next
+        ``execute`` on this plan; callers that keep them must copy
+        (:meth:`repro.slam.problem.LinearSystem.solve` does by default).
+        """
+        if u_diag.shape[0] != self.num_features or b_y.shape[0] != self.state_dim:
+            raise SolverError(
+                f"system ({u_diag.shape[0]}, {b_y.shape[0]}) does not match "
+                f"plan structure ({self.num_features}, {self.state_dim})"
+            )
+        stats = PlanSolveStats()
+
+        tic = perf_counter()
+        # Damped landmark diagonal: floor, then in-place damping add —
+        # no np.eye materialization anywhere on this path.
+        np.maximum(u_diag, U_FLOOR, out=self.u_damped)
+        if damping:
+            self.u_damped += damping
+        np.divide(1.0, self.u_damped, out=self.u_inv)
+        d_type_schur_into(
+            v_block, w_block, self.u_inv, b_x, b_y,
+            out_reduced=self.reduced, out_rhs=self.reduced_rhs,
+            w_scaled=self.w_scaled, scratch=self.scratch,
+        )
+        if damping:
+            # In-place diagonal add on the reduced keyframe block —
+            # through a ravel view, not ``.flat`` (flatiter slicing
+            # round-trips through a copy).
+            self.reduced.reshape(-1)[:: self.state_dim + 1] += damping
+        stats.schur_seconds = perf_counter() - tic
+
+        tic = perf_counter()
+        if self.precision == "mixed":
+            self._factor_with_retry(self.factor32, stats)
+        else:
+            self._factor_with_retry(self.factor, stats)
+        stats.chol_seconds = perf_counter() - tic
+
+        tic = perf_counter()
+        if self.precision == "mixed":
+            self._solve_mixed(stats)
+        else:
+            self._triangular_solves(self.factor, self.reduced_rhs, self.d_state)
+        d_type_back_substitute_into(
+            w_block, self.u_damped, b_x, self.d_state, out=self.d_lambda
+        )
+        stats.backsub_seconds = perf_counter() - tic
+
+        self.last_stats = stats
+        self.executions += 1
+        return self.d_lambda, self.d_state, stats
+
+    # ------------------------------------------------------------------
+    # Factorization with escalating-jitter retry
+    # ------------------------------------------------------------------
+
+    def _factor_with_retry(self, factor: np.ndarray, stats: PlanSolveStats) -> None:
+        """Factor ``self.reduced`` into ``factor`` (lower triangle).
+
+        The first attempt is jitter-free; each retry restores the
+        workspace from ``self.reduced`` and escalates the diagonal
+        jitter. ``self.reduced`` itself is never mutated.
+        """
+        jitter = 0.0
+        for attempt in range(MAX_FACTOR_ATTEMPTS):
+            np.copyto(factor, self.reduced)
+            if jitter:
+                # The factor workspaces are Fortran-ordered; their
+                # transpose is a C-contiguous view with the same diagonal.
+                factor.T.reshape(-1)[:: self.state_dim + 1] += jitter
+            stats.factor_attempts = attempt + 1
+            try:
+                self._factor_inplace(factor)
+            except (SolverError, np.linalg.LinAlgError):
+                jitter = JITTER_INITIAL if jitter == 0.0 else jitter * JITTER_GROWTH
+                continue
+            stats.jitter = jitter
+            stats.jitter_applied = jitter != 0.0
+            return
+        raise SolverError(
+            f"Cholesky failed after {MAX_FACTOR_ATTEMPTS} attempts "
+            f"(final jitter {jitter:.1e})"
+        )
+
+    def _factor_inplace(self, work: np.ndarray) -> None:
+        if work.shape[0] == 0:
+            return
+        if HAVE_SCIPY:
+            try:
+                result = _scipy_cholesky(
+                    work, lower=True, overwrite_a=True, check_finite=False
+                )
+            except np.linalg.LinAlgError as error:
+                raise SolverError(str(error)) from error
+            if result is not work and not np.shares_memory(result, work):
+                np.copyto(work, result)  # LAPACK declined in-place; keep contract
+            return
+        if work.dtype == np.float64:
+            cholesky_inplace(work, self.scratch)
+        else:
+            # float32 fallback: stage the downdates through a float32
+            # view of the float64 scratch arena (same memory, no alloc).
+            scratch32 = self.scratch.reshape(-1).view(np.float32)[
+                : work.shape[0] * work.shape[0]
+            ].reshape(work.shape)
+            cholesky_inplace(work, scratch32)
+
+    # ------------------------------------------------------------------
+    # Triangular solves
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _triangular_solves(
+        factor: np.ndarray, rhs: np.ndarray, out: np.ndarray
+    ) -> None:
+        """Solve ``L L^T out = rhs`` given the lower factor, in place."""
+        if factor.shape[0] == 0:
+            return
+        if HAVE_SCIPY:
+            if out is not rhs:
+                np.copyto(out, rhs, casting="unsafe")
+            lower = _scipy_solve_triangular(
+                factor, out, lower=True, overwrite_b=True, check_finite=False
+            )
+            upper = _scipy_solve_triangular(
+                factor, lower, lower=True, trans="T", overwrite_b=True,
+                check_finite=False,
+            )
+            if upper is not out and not np.shares_memory(upper, out):
+                np.copyto(out, upper)
+            return
+        forward_substitution_into(factor, rhs, out)
+        backward_substitution_transposed_into(factor, out, out)
+
+    def _solve_mixed(self, stats: PlanSolveStats) -> None:
+        """Float32 solve + float64 iterative refinement into d_state."""
+        np.copyto(self.rhs32, self.reduced_rhs, casting="unsafe")
+        self._triangular_solves(self.factor32, self.rhs32, self.rhs32)
+        np.copyto(self.d_state, self.rhs32, casting="unsafe")
+        if self.state_dim == 0:
+            return
+        rhs_norm = float(np.linalg.norm(self.reduced_rhs))
+        tolerance = REFINEMENT_RTOL * max(rhs_norm, 1e-300)
+        for _ in range(REFINEMENT_MAX_ITERATIONS):
+            # residual = rhs - A x, in float64 against the true reduced
+            # system (with the jitter the factorization applied, so the
+            # refinement converges to the factored operator's solution).
+            np.matmul(self.reduced, self.d_state, out=self.residual)
+            if stats.jitter:
+                self.residual += stats.jitter * self.d_state
+            np.subtract(self.reduced_rhs, self.residual, out=self.residual)
+            if float(np.linalg.norm(self.residual)) <= tolerance:
+                break
+            np.copyto(self.rhs32, self.residual, casting="unsafe")
+            self._triangular_solves(self.factor32, self.rhs32, self.rhs32)
+            self.d_state += self.rhs32
+            stats.refinement_iterations += 1
+
+
+# ----------------------------------------------------------------------
+# The plan cache: reuse across windows of identical structure
+# ----------------------------------------------------------------------
+
+class SolverPlanCache:
+    """LRU cache of :class:`SolverPlan` keyed by structure and thread.
+
+    Workspaces are mutable, so a plan must never be shared across
+    threads; the cache keys on ``threading.get_ident()`` in addition to
+    the symbolic structure. This keeps the serving tier's worker threads
+    race-free while still giving every thread cross-window reuse. The
+    ``hits``/``misses`` counters are the plan-reuse hit-rate surfaced in
+    ``BENCH_estimator.json``.
+    """
+
+    def __init__(self, max_plans: int = 64) -> None:
+        if max_plans < 1:
+            raise ConfigurationError("max_plans must be >= 1")
+        self.max_plans = max_plans
+        self._plans: OrderedDict[tuple, SolverPlan] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def get(
+        self, num_features: int, state_dim: int, precision: str = "float64"
+    ) -> SolverPlan:
+        """The cached plan for this structure (built on first miss)."""
+        key = (int(num_features), int(state_dim), precision, threading.get_ident())
+        with self._lock:
+            plan = self._plans.get(key)
+            if plan is not None:
+                self.hits += 1
+                self._plans.move_to_end(key)
+                return plan
+            self.misses += 1
+        # Build outside the lock — allocation is the slow part.
+        plan = SolverPlan(num_features, state_dim, precision=precision)
+        with self._lock:
+            self._plans[key] = plan
+            self._plans.move_to_end(key)
+            while len(self._plans) > self.max_plans:
+                self._plans.popitem(last=False)
+        return plan
+
+    def stats(self) -> dict:
+        """Counters for benchmarks and observability exports."""
+        with self._lock:
+            total = self.hits + self.misses
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "hit_rate": self.hits / total if total else 0.0,
+                "plans": len(self._plans),
+            }
+
+    def clear(self) -> None:
+        with self._lock:
+            self._plans.clear()
+            self.hits = 0
+            self.misses = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._plans)
+
+
+_default_cache: SolverPlanCache | None = None
+_default_cache_lock = threading.Lock()
+
+
+def default_plan_cache() -> SolverPlanCache:
+    """The process-wide plan cache every solve path shares by default."""
+    global _default_cache
+    with _default_cache_lock:
+        if _default_cache is None:
+            _default_cache = SolverPlanCache()
+        return _default_cache
+
+
+def reset_default_plan_cache() -> SolverPlanCache:
+    """Swap in a fresh default cache (tests, benchmark isolation)."""
+    global _default_cache
+    with _default_cache_lock:
+        _default_cache = SolverPlanCache()
+        return _default_cache

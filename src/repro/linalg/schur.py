@@ -68,6 +68,51 @@ def d_type_back_substitute(
     return (np.asarray(b_x, dtype=float) - np.asarray(w_block).T @ delta_y) / u_diagonal
 
 
+def d_type_schur_into(
+    v_block: np.ndarray,
+    w_block: np.ndarray,
+    u_inverse: np.ndarray,
+    b_x: np.ndarray,
+    b_y: np.ndarray,
+    out_reduced: np.ndarray,
+    out_rhs: np.ndarray,
+    w_scaled: np.ndarray,
+    scratch: np.ndarray,
+) -> None:
+    """Allocation-free :func:`d_type_schur` into caller-owned workspaces.
+
+    Computes ``out_reduced = V - W diag(u)^-1 W^T`` and
+    ``out_rhs = b_y - W diag(u)^-1 b_x`` given the *precomputed
+    reciprocal* ``u_inverse = 1/u`` (p,), entirely through in-place
+    matmuls/einsum: ``w_scaled`` (q, p) and ``scratch`` (q, q) are the
+    :class:`repro.linalg.plan.SolverPlan` arenas. The row scaling goes
+    through einsum rather than a broadcast ufunc because numpy's
+    broadcast iterator allocates its 64 KiB transfer buffer per call —
+    einsum's specialized loop does not. No validation — the plan checked
+    the structure once at build time, and ``u_inverse`` comes from a
+    diagonal already floored strictly positive by the caller.
+    """
+    np.einsum("ij,j->ij", w_block, u_inverse, out=w_scaled)
+    np.matmul(w_scaled, w_block.T, out=scratch)
+    np.subtract(v_block, scratch, out=out_reduced)
+    np.matmul(w_scaled, b_x, out=out_rhs)
+    np.subtract(b_y, out_rhs, out=out_rhs)
+
+
+def d_type_back_substitute_into(
+    w_block: np.ndarray,
+    u_diagonal: np.ndarray,
+    b_x: np.ndarray,
+    delta_y: np.ndarray,
+    out: np.ndarray,
+) -> np.ndarray:
+    """Allocation-free ``dx = U^-1 (b_x - W^T dy)`` into ``out`` (p,)."""
+    np.matmul(delta_y, w_block, out=out)  # dy @ W == W^T dy
+    np.subtract(b_x, out, out=out)
+    np.divide(out, u_diagonal, out=out)
+    return out
+
+
 def m_type_schur(
     a_block: np.ndarray,
     lambda_block: np.ndarray,

@@ -42,24 +42,34 @@ class StageTimings:
         assemble_s: scatter-accumulation of the arrow system blocks.
         solve_s: Schur elimination, Cholesky and back-substitution.
         update_s: state retraction and cost (re-)evaluation.
+        schur_s / chol_s / backsub_s: the SolverPlan's phase split of
+            ``solve_s`` — *child* measurements already contained in
+            ``solve_s``, so they are excluded from :attr:`total_s`.
     """
 
     linearize_s: float = 0.0
     assemble_s: float = 0.0
     solve_s: float = 0.0
     update_s: float = 0.0
+    schur_s: float = 0.0
+    chol_s: float = 0.0
+    backsub_s: float = 0.0
 
     STAGES = ("linearize", "assemble", "solve", "update")
+    # Sub-phases of the solve stage (SolverPlan split): summed into their
+    # own fields, never into total_s — solve_s already contains them.
+    SOLVE_SUBSTAGES = ("schur", "chol", "backsub")
 
     @classmethod
     def from_spans(cls, spans) -> "StageTimings":
         """Sum stage-named spans (``linearize``/``assemble``/``solve``/
-        ``update``) into the aggregate view. Spans with other names are
+        ``update``, plus the ``schur``/``chol``/``backsub`` solve
+        sub-phases) into the aggregate view. Spans with other names are
         ignored, so a trace holding parent ``window`` spans folds down
         without double counting."""
         timings = cls()
         for span in spans:
-            if span.name in cls.STAGES:
+            if span.name in cls.STAGES or span.name in cls.SOLVE_SUBSTAGES:
                 attr = f"{span.name}_s"
                 setattr(timings, attr, getattr(timings, attr) + span.duration_s)
         return timings
@@ -79,6 +89,9 @@ class StageTimings:
         self.assemble_s += other.assemble_s
         self.solve_s += other.solve_s
         self.update_s += other.update_s
+        self.schur_s += other.schur_s
+        self.chol_s += other.chol_s
+        self.backsub_s += other.backsub_s
 
     def as_dict(self) -> dict[str, float]:
         return {
@@ -86,6 +99,9 @@ class StageTimings:
             "assemble_s": self.assemble_s,
             "solve_s": self.solve_s,
             "update_s": self.update_s,
+            "schur_s": self.schur_s,
+            "chol_s": self.chol_s,
+            "backsub_s": self.backsub_s,
             "total_s": self.total_s,
         }
 

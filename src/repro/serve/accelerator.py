@@ -58,6 +58,11 @@ class AcceleratorInstance:
     windows_executed: int = 0
     busy_seconds: float = 0.0
     batches: int = 0
+    # SolverPlan cache the functional fidelity solves through. None means
+    # the process-wide default cache — the same one the software
+    # estimator uses, so serving-tier and estimator windows of identical
+    # structure share plans (per worker thread; the cache is thread-keyed).
+    plan_cache: object | None = None
 
     def __post_init__(self) -> None:
         if self.fidelity not in FIDELITIES:
@@ -75,9 +80,17 @@ class AcceleratorInstance:
     ) -> "ServiceCharge":
         """Virtual seconds this window occupies the instance."""
         if self.fidelity == "functional" and problem is not None:
+            from repro.geometry.navstate import STATE_DIM
             from repro.hw.sim.functional import run_iteration_functional
+            from repro.linalg.plan import default_plan_cache
 
-            execution = run_iteration_functional(problem, config, platform=self.platform)
+            cache = self.plan_cache or default_plan_cache()
+            plan = cache.get(
+                len(problem.inv_depths), STATE_DIM * len(problem.states)
+            )
+            execution = run_iteration_functional(
+                problem, config, platform=self.platform, plan=plan
+            )
             compute_cycles = (
                 iterations * execution.cycles + marginalization_latency(stats, config)
             )

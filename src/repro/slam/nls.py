@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.errors import SolverError
+from repro.linalg.plan import default_plan_cache
 from repro.obs.tracer import Trace
 from repro.runtime.profiler import StageTimings
 from repro.slam.problem import WindowProblem
@@ -94,6 +95,7 @@ def levenberg_marquardt(
         cost_history=[cost],
     )
 
+    plan = None  # built from the first system's structure, reused after
     for _ in range(config.max_iterations):
         system = problem.build_linear_system()
         # The build measures its own linearize/assemble split; record
@@ -105,14 +107,37 @@ def levenberg_marquardt(
             "assemble", category="nls", duration_s=system.assemble_seconds
         )
         result.iterations += 1
+        if plan is None or not plan.matches(system.num_features, system.b_y.shape[0]):
+            # The process-wide cache makes this a hit whenever any prior
+            # window (on this thread) had the same structure.
+            plan = default_plan_cache().get(system.num_features, system.b_y.shape[0])
         solved = False
         with window_trace.span("solve", category="nls", damping=damping):
             try:
-                d_lambda, d_state = system.solve(damping=damping)
+                # copy=False: the arena views are consumed by stepped()
+                # below, before the next execute on this plan.
+                d_lambda, d_state = system.solve(
+                    damping=damping, plan=plan, copy=False
+                )
                 solved = True
             except SolverError:
                 pass
-        if not solved:
+        if solved:
+            # Surface the plan's phase split as already-measured child
+            # stages next to the enclosing solve span. StageTimings
+            # routes these to dedicated fields (never into total_s).
+            stats = plan.last_stats
+            window_trace.add_measured(
+                "schur", category="nls", duration_s=stats.schur_seconds
+            )
+            window_trace.add_measured(
+                "chol", category="nls", duration_s=stats.chol_seconds,
+                jitter_applied=stats.jitter_applied,
+            )
+            window_trace.add_measured(
+                "backsub", category="nls", duration_s=stats.backsub_seconds
+            )
+        else:
             damping *= config.damping_up
             result.cost_history.append(cost)
             continue

@@ -24,8 +24,7 @@ import numpy as np
 from repro.errors import SolverError
 from repro.geometry.camera import PinholeCamera
 from repro.geometry.navstate import NavState, STATE_DIM
-from repro.linalg.cholesky import cholesky_evaluate_update, solve_cholesky
-from repro.linalg.schur import d_type_back_substitute, d_type_schur
+from repro.linalg.plan import SolverPlan, default_plan_cache
 from repro.slam.batch import (
     VisualFactorBatch,
     accumulate_visual_batch,
@@ -59,26 +58,64 @@ class LinearSystem:
     linearize_seconds: float = 0.0
     assemble_seconds: float = 0.0
 
-    def solve(self, damping: float = 0.0) -> tuple[np.ndarray, np.ndarray]:
+    def solve(
+        self,
+        damping: float = 0.0,
+        plan: SolverPlan | None = None,
+        copy: bool = True,
+    ) -> tuple[np.ndarray, np.ndarray]:
         """Schur-eliminate the landmarks and solve for all unknowns.
 
         This is the exact computation the accelerator's NLS data path
         performs: D-type Schur -> Cholesky -> forward/backward
-        substitution -> landmark back-substitution.
+        substitution -> landmark back-substitution — executed through a
+        :class:`repro.linalg.plan.SolverPlan` whose workspace arenas make
+        the whole solve allocation-free. Damping is an in-place diagonal
+        add inside the plan (no ``np.eye`` materialization), and jitter
+        is applied only if the factorization fails.
+
+        Args:
+            damping: LM damping added to both diagonal blocks.
+            plan: a prebuilt plan matching this system's structure; when
+                None the process-wide plan cache supplies one (reused
+                across iterations and across windows of identical
+                structure).
+            copy: return owned arrays (default). ``copy=False`` returns
+                views into the plan's arenas — valid only until the next
+                solve on the same plan; the NLS hot loop uses this.
 
         Returns:
             (d_lambda, d_state): landmark and keyframe tangent updates.
         """
+        if plan is None:
+            plan = default_plan_cache().get(self.num_features, self.b_y.shape[0])
+        d_lambda, d_state, _ = plan.execute(
+            self.u_diag, self.w_block, self.v_block, self.b_x, self.b_y,
+            damping=damping,
+        )
+        if copy:
+            return d_lambda.copy(), d_state.copy()
+        return d_lambda, d_state
+
+    def solve_dense(self, damping: float = 0.0) -> tuple[np.ndarray, np.ndarray]:
+        """Solve the full arrow system densely — the conformance oracle.
+
+        Materializes ``[[diag(u), W^T], [W, V]]`` (with the same diagonal
+        floor and damping as the structured path) and solves it with
+        ``numpy.linalg.solve``. Deliberately independent of the
+        plan/Schur machinery so the ``plan_solve`` differential oracle in
+        :mod:`repro.testing` compares two genuinely distinct
+        implementations.
+        """
+        p = self.num_features
         u_damped = np.maximum(self.u_diag, _U_FLOOR) + damping
         v_damped = self.v_block + damping * np.eye(self.v_block.shape[0])
-        reduced, reduced_rhs = d_type_schur(
-            v_damped, self.w_block, u_damped, b_x=self.b_x, b_y=self.b_y
-        )
-        assert reduced_rhs is not None
-        factor, _ = cholesky_evaluate_update(reduced, jitter=1e-9)
-        d_state = solve_cholesky(factor, reduced_rhs)
-        d_lambda = d_type_back_substitute(self.w_block, u_damped, self.b_x, d_state)
-        return d_lambda, d_state
+        full = np.block([[np.diag(u_damped), self.w_block.T], [self.w_block, v_damped]])
+        try:
+            solution = np.linalg.solve(full, np.concatenate([self.b_x, self.b_y]))
+        except np.linalg.LinAlgError as error:
+            raise SolverError(f"dense solve failed: {error}") from error
+        return solution[:p], solution[p:]
 
     @property
     def num_features(self) -> int:

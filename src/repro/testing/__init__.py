@@ -10,8 +10,9 @@ This package makes each link a first-class, runnable *oracle*:
 * :mod:`repro.testing.workloads` — deterministic random-workload
   builders (windows, stats series, hardware configs) shared by the
   oracles, the Hypothesis strategies, and the test suite;
-* :mod:`repro.testing.oracles` — the four differential runners with
-  typed mismatch reports;
+* :mod:`repro.testing.oracles` — the differential runners with typed
+  mismatch reports (backend, functional, trace, fixedpoint, plus the
+  SolverPlan-vs-dense and mixed-precision solve oracles);
 * :mod:`repro.testing.faults` — deterministic fault injectors (NaN
   tracks, IMU gaps, degenerate windows, corrupted cache blobs);
 * :mod:`repro.testing.conformance` — the oracle x workload matrix,
@@ -38,6 +39,8 @@ from repro.testing.oracles import (
     run_backend_oracle,
     run_fixedpoint_oracle,
     run_functional_oracle,
+    run_mixed_precision_oracle,
+    run_plan_oracle,
     run_trace_oracle,
 )
 
@@ -52,6 +55,8 @@ __all__ = [
     "run_backend_oracle",
     "run_fixedpoint_oracle",
     "run_functional_oracle",
+    "run_mixed_precision_oracle",
+    "run_plan_oracle",
     "run_trace_oracle",
     "run_conformance",
 ]

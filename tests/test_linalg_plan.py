@@ -1,0 +1,315 @@
+"""Tests for the SolverPlan layer: arenas, reuse, precision, caching."""
+
+import threading
+import tracemalloc
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, SolverError
+from repro.linalg.plan import (
+    HAVE_SCIPY,
+    PlanSolveStats,
+    SolverPlan,
+    SolverPlanCache,
+    default_plan_cache,
+    reset_default_plan_cache,
+)
+from repro.slam.problem import LinearSystem
+from repro.testing.workloads import make_random_window
+
+
+def arrow_system(p, q, seed=0, scale=1.0):
+    """A well-conditioned random SPD arrow system as a LinearSystem."""
+    rng = np.random.default_rng(seed)
+    u = rng.uniform(0.5, 3.0, size=p) * scale
+    w = rng.normal(size=(q, p)) * scale
+    a = rng.normal(size=(q, q))
+    v = (a @ a.T + q * np.eye(q)) * scale
+    if p:
+        v = v + w @ np.diag(1.0 / u) @ w.T
+    b_x, b_y = rng.normal(size=p), rng.normal(size=q)
+    return LinearSystem(
+        u_diag=u, w_block=w, v_block=v, b_x=b_x, b_y=b_y,
+        feature_ids=list(range(p)), frame_ids=list(range(max(q // 15, 1))),
+    )
+
+
+class TestPlanCorrectness:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    @pytest.mark.parametrize("damping", [0.0, 1e-4, 0.5])
+    def test_plan_matches_dense_solve(self, seed, damping):
+        system = arrow_system(20, 24, seed=seed)
+        plan = SolverPlan(20, 24)
+        d_lambda, d_state = system.solve(damping=damping, plan=plan)
+        ref_lambda, ref_state = system.solve_dense(damping=damping)
+        assert np.allclose(d_lambda, ref_lambda, rtol=1e-8, atol=1e-10)
+        assert np.allclose(d_state, ref_state, rtol=1e-8, atol=1e-10)
+
+    def test_solution_satisfies_block_equations(self):
+        system = arrow_system(15, 12, seed=7)
+        d_lambda, d_state = system.solve(damping=0.0)
+        u = np.maximum(system.u_diag, 1e-8)
+        assert np.allclose(
+            u * d_lambda + system.w_block.T @ d_state, system.b_x, atol=1e-8
+        )
+        assert np.allclose(
+            system.w_block @ d_lambda + system.v_block @ d_state,
+            system.b_y, atol=1e-8,
+        )
+
+    def test_real_window_plan_vs_dense(self):
+        problem = make_random_window(3, num_keyframes=4, num_features=14)
+        system = problem.build_linear_system()
+        d_lambda, d_state = system.solve(damping=1e-4)
+        ref_lambda, ref_state = system.solve_dense(damping=1e-4)
+        assert np.allclose(d_lambda, ref_lambda, rtol=1e-7, atol=1e-9)
+        assert np.allclose(d_state, ref_state, rtol=1e-7, atol=1e-9)
+
+    def test_empty_landmark_block(self):
+        system = arrow_system(0, 6, seed=2)
+        d_lambda, d_state = system.solve(damping=1e-4)
+        assert d_lambda.shape == (0,)
+        ref_lambda, ref_state = system.solve_dense(damping=1e-4)
+        assert np.allclose(d_state, ref_state, rtol=1e-9, atol=1e-11)
+
+    def test_structure_mismatch_raises(self):
+        system = arrow_system(8, 6)
+        with pytest.raises(SolverError, match="structure"):
+            system.solve(plan=SolverPlan(9, 6))
+
+    def test_bad_construction_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SolverPlan(-1, 6)
+        with pytest.raises(ConfigurationError):
+            SolverPlan(4, 6, precision="float16")
+
+
+class TestPlanReuse:
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        p=st.integers(min_value=1, max_value=25),
+        q=st.integers(min_value=1, max_value=20),
+        damping=st.sampled_from([0.0, 1e-6, 1e-2]),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_reused_plan_bit_identical_to_fresh(self, seed, p, q, damping):
+        """Window mutations (new numbers, same structure) through a warm
+        plan must equal a cold plan's answer to the bit."""
+        warm = SolverPlan(p, q)
+        # Warm the plan on a different system of the same structure.
+        warm.execute(*_parts(arrow_system(p, q, seed=seed + 1)), damping=damping)
+        system = arrow_system(p, q, seed=seed)
+        got = warm.execute(*_parts(system), damping=damping)
+        fresh = SolverPlan(p, q).execute(*_parts(system), damping=damping)
+        assert np.array_equal(got[0], fresh[0])
+        assert np.array_equal(got[1], fresh[1])
+
+    def test_copy_true_detaches_from_arena(self):
+        system_a = arrow_system(10, 9, seed=0)
+        system_b = arrow_system(10, 9, seed=1)
+        plan = SolverPlan(10, 9)
+        kept_lambda, kept_state = system_a.solve(damping=0.0, plan=plan)
+        snapshot = (kept_lambda.copy(), kept_state.copy())
+        system_b.solve(damping=0.0, plan=plan)  # would clobber views
+        assert np.array_equal(kept_lambda, snapshot[0])
+        assert np.array_equal(kept_state, snapshot[1])
+
+    def test_copy_false_returns_arena_views(self):
+        system = arrow_system(10, 9, seed=0)
+        plan = SolverPlan(10, 9)
+        d_lambda, d_state = system.solve(damping=0.0, plan=plan, copy=False)
+        assert np.shares_memory(d_lambda, plan.d_lambda)
+        assert np.shares_memory(d_state, plan.d_state)
+
+
+class TestMixedPrecision:
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_refinement_reaches_float64(self, seed):
+        """float32 + refinement lands within 1e-9 of the float64 answer
+        (relative to the solution scale) on random SPD arrow systems."""
+        system = arrow_system(18, 15, seed=seed)
+        f64_lambda, f64_state = system.solve(
+            damping=1e-4, plan=SolverPlan(18, 15)
+        )
+        mixed = SolverPlan(18, 15, precision="mixed")
+        mix_lambda, mix_state = system.solve(damping=1e-4, plan=mixed)
+        scale = max(
+            np.abs(f64_state).max(), np.abs(f64_lambda).max(), 1.0
+        )
+        assert np.abs(mix_state - f64_state).max() <= 1e-9 * scale
+        assert np.abs(mix_lambda - f64_lambda).max() <= 1e-9 * scale
+        assert mixed.last_stats.refinement_iterations <= 8
+
+    def test_mixed_plan_allocates_float32_arenas(self):
+        plan = SolverPlan(6, 5, precision="mixed")
+        assert plan.factor32.dtype == np.float32
+        assert plan.rhs32.dtype == np.float32
+
+
+class TestJitterPolicy:
+    def test_no_jitter_on_well_conditioned_system(self):
+        system = arrow_system(12, 9, seed=0)
+        plan = SolverPlan(12, 9)
+        system.solve(damping=0.0, plan=plan)
+        assert plan.last_stats.jitter == 0.0
+        assert not plan.last_stats.jitter_applied
+        assert plan.last_stats.factor_attempts == 1
+
+    def test_jitter_escalates_on_singular_system(self):
+        p, q = 3, 6
+        system = LinearSystem(
+            u_diag=np.ones(p), w_block=np.zeros((q, p)),
+            v_block=np.zeros((q, q)), b_x=np.zeros(p), b_y=np.ones(q),
+            feature_ids=list(range(p)), frame_ids=[0],
+        )
+        plan = SolverPlan(p, q)
+        d_lambda, d_state = system.solve(damping=0.0, plan=plan)
+        assert plan.last_stats.jitter_applied
+        assert plan.last_stats.jitter > 0.0
+        assert plan.last_stats.factor_attempts > 1
+        assert np.all(np.isfinite(d_lambda)) and np.all(np.isfinite(d_state))
+
+    def test_unfactorable_system_raises_after_retries(self):
+        q = 4
+        system = LinearSystem(
+            u_diag=np.ones(1), w_block=np.zeros((q, 1)),
+            v_block=-1e6 * np.eye(q), b_x=np.zeros(1), b_y=np.ones(q),
+            feature_ids=[0], frame_ids=[0],
+        )
+        with pytest.raises(SolverError, match="attempts"):
+            system.solve(damping=0.0, plan=SolverPlan(1, q))
+
+    def test_reduced_matrix_left_intact_after_jitter_retry(self):
+        p, q = 2, 5
+        system = LinearSystem(
+            u_diag=np.ones(p), w_block=np.zeros((q, p)),
+            v_block=np.zeros((q, q)), b_x=np.zeros(p), b_y=np.ones(q),
+            feature_ids=list(range(p)), frame_ids=[0],
+        )
+        plan = SolverPlan(p, q)
+        system.solve(damping=0.0, plan=plan)
+        # reduced must hold the *unjittered* Schur complement (zeros).
+        assert np.array_equal(plan.reduced, np.zeros((q, q)))
+
+
+class TestZeroAllocation:
+    def test_warm_execute_allocates_no_arrays(self):
+        """At fig11 scale a warm plan's execute stays under a few KiB of
+        transient allocation — far below any (q, q) or (q, p) buffer
+        (180 KiB / 240 KiB at this scale), proving every matrix-sized
+        operand lives in the preallocated arenas."""
+        if not HAVE_SCIPY:
+            pytest.skip("numpy-fallback Cholesky column loop is measured "
+                        "per-column; the arena contract is scipy-path only")
+        system = arrow_system(200, 150, seed=0)
+        plan = SolverPlan(200, 150)
+        parts = _parts(system)
+        plan.execute(*parts, damping=1e-4)
+        tracemalloc.start()
+        plan.execute(*parts, damping=1e-4)  # first traced call warms tracer caches
+        tracemalloc.reset_peak()
+        plan.execute(*parts, damping=1e-4)
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        assert peak < 32_768, f"solve stage allocated {peak} bytes"
+
+    def test_warm_mixed_execute_allocates_no_arrays(self):
+        if not HAVE_SCIPY:
+            pytest.skip("scipy-path contract")
+        system = arrow_system(200, 150, seed=1)
+        plan = SolverPlan(200, 150, precision="mixed")
+        parts = _parts(system)
+        plan.execute(*parts, damping=1e-4)
+        tracemalloc.start()
+        plan.execute(*parts, damping=1e-4)
+        tracemalloc.reset_peak()
+        plan.execute(*parts, damping=1e-4)
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        assert peak < 32_768, f"mixed solve stage allocated {peak} bytes"
+
+
+class TestPlanCache:
+    def test_hits_and_misses_counted(self):
+        cache = SolverPlanCache()
+        a = cache.get(10, 9)
+        b = cache.get(10, 9)
+        c = cache.get(11, 9)
+        assert a is b and a is not c
+        assert cache.stats() == {
+            "hits": 1, "misses": 2, "hit_rate": pytest.approx(1 / 3), "plans": 2,
+        }
+        cache.clear()
+        assert cache.stats()["plans"] == 0 and cache.stats()["hits"] == 0
+
+    def test_precision_keys_separately(self):
+        cache = SolverPlanCache()
+        assert cache.get(5, 5) is not cache.get(5, 5, precision="mixed")
+
+    def test_thread_keyed_plans_are_distinct(self):
+        cache = SolverPlanCache()
+        main_plan = cache.get(8, 6)
+        seen = []
+        thread = threading.Thread(target=lambda: seen.append(cache.get(8, 6)))
+        thread.start()
+        thread.join()
+        assert seen[0] is not main_plan
+
+    def test_lru_eviction(self):
+        cache = SolverPlanCache(max_plans=2)
+        cache.get(1, 1)
+        cache.get(2, 2)
+        cache.get(3, 3)
+        assert len(cache) == 2
+        cache.get(1, 1)  # evicted -> rebuilt: a miss
+        assert cache.stats()["misses"] == 4
+
+    def test_default_cache_reset(self):
+        first = default_plan_cache()
+        assert default_plan_cache() is first
+        second = reset_default_plan_cache()
+        assert second is not first
+        assert default_plan_cache() is second
+
+
+class TestNlsIntegration:
+    def test_lm_records_solve_substage_timings(self):
+        from repro.slam.nls import LMConfig, levenberg_marquardt
+
+        problem = make_random_window(5, num_keyframes=4, num_features=12)
+        result = levenberg_marquardt(problem, LMConfig(max_iterations=3))
+        timings = result.timings
+        assert timings.solve_s > 0.0
+        assert timings.schur_s > 0.0
+        assert timings.chol_s > 0.0
+        assert timings.backsub_s > 0.0
+        # Substages are children of solve: they never inflate the total.
+        assert timings.total_s == pytest.approx(
+            timings.linearize_s + timings.assemble_s
+            + timings.solve_s + timings.update_s
+        )
+
+    def test_lm_reuses_one_plan_across_iterations(self):
+        from repro.slam.nls import LMConfig, levenberg_marquardt
+
+        cache = reset_default_plan_cache()
+        problem = make_random_window(6, num_keyframes=4, num_features=12)
+        levenberg_marquardt(problem, LMConfig(max_iterations=4))
+        stats = cache.stats()
+        # One structure -> one miss; the iteration loop holds the plan
+        # object, so at most one extra lookup can occur.
+        assert stats["misses"] == 1
+        reset_default_plan_cache()
+
+    def test_stats_dataclass_defaults(self):
+        stats = PlanSolveStats()
+        assert stats.jitter == 0.0 and not stats.jitter_applied
+        assert stats.refinement_iterations == 0
+
+
+def _parts(system):
+    return (system.u_diag, system.w_block, system.v_block, system.b_x, system.b_y)
