@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""Non-gating serving-throughput regression check for the serve-smoke CI job.
+
+Compares the freshly measured steady serving throughput — the 1-shard
+thread baseline's ``wall_throughput_wps`` from the shard-scaling section
+of ``BENCH_serve.json`` — against the committed baseline and emits a
+GitHub Actions ``::warning::`` annotation — *not* a failure — when
+throughput regressed by more than the threshold. CI runners are noisy
+machines; the annotation makes a regression loud in the PR checks
+without letting runner jitter block merges.
+
+If either file predates the shard-scaling section (``"shards": null`` or
+missing), the check falls back to the virtual pool-scaling throughput of
+the 1-instance pool, which is deterministic but only regresses on
+behaviour changes, not slow code.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/check_serve_regression.py \
+        --baseline BENCH_serve.baseline.json \
+        --current BENCH_serve.json \
+        [--threshold 0.25]
+
+Always exits 0 unless an input file is missing or malformed (exit 2):
+a broken harness should be visible, a slow runner should not.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def steady_throughput(report: dict) -> tuple[float, str]:
+    """(windows/s, metric label) for the steady serving rate."""
+    shards = report.get("shards")
+    if shards:
+        for point in shards["points"]:
+            if point["num_shards"] == 1 and point["backend"] == "thread":
+                return float(point["wall_throughput_wps"]), "wall_throughput_wps"
+    pool = next(p for p in report["pools"] if p["num_instances"] == 1)
+    return float(pool["throughput_wps"]), "virtual_throughput_wps"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", type=Path, required=True)
+    parser.add_argument("--current", type=Path, required=True)
+    parser.add_argument(
+        "--threshold", type=float, default=0.25,
+        help="relative regression that triggers the warning (0.25 = -25%%)",
+    )
+    args = parser.parse_args()
+
+    try:
+        baseline, base_label = steady_throughput(
+            json.loads(args.baseline.read_text())
+        )
+        current, cur_label = steady_throughput(json.loads(args.current.read_text()))
+    except (OSError, KeyError, ValueError, TypeError, StopIteration) as error:
+        print(f"::error::serve regression check could not read inputs: {error}")
+        return 2
+
+    if base_label != cur_label:
+        print(
+            f"::warning::baseline reports {base_label} but current reports "
+            f"{cur_label}; regenerate the baseline — skipping comparison"
+        )
+        return 0
+    if baseline <= 0.0:
+        print(f"::warning::baseline throughput is {baseline}; skipping comparison")
+        return 0
+
+    change = (current - baseline) / baseline
+    summary = (
+        f"steady serve throughput ({cur_label}): baseline {baseline:.1f} w/s, "
+        f"current {current:.1f} w/s ({change:+.1%})"
+    )
+    if change < -args.threshold:
+        print(
+            f"::warning title=serve-throughput regression::{summary} exceeds the "
+            f"-{args.threshold:.0%} budget — investigate before merging"
+        )
+    else:
+        print(summary)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

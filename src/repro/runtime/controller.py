@@ -25,7 +25,12 @@ from repro.runtime.reconfig import ReconfigurationTable
 
 @dataclass(frozen=True)
 class WindowDecision:
-    """What the controller decided for one window."""
+    """What the controller decided for one window.
+
+    (Frozen but deliberately not ``slots=True``: frozen+slots dataclasses
+    cannot be pickled on Python 3.10, and decisions ride inside pickled
+    controllers across the serve tier's process boundary.)
+    """
 
     feature_count: int
     proposed_iterations: int
@@ -36,9 +41,14 @@ class WindowDecision:
     static_energy_j: float  # what the static design would have burned
 
 
-@dataclass
+@dataclass(slots=True)
 class RuntimeController:
     """Drives the accelerator's dynamic re-optimization.
+
+    ``slots=True`` + picklable: a serving session (controller included)
+    crosses the process-backend fork boundary, and a fleet serves one
+    controller per session — slots keep the per-session footprint flat
+    and catch stray attribute writes.
 
     Concurrency contract (the multi-session serving tier relies on it):
     the lookup tables — ``table`` (:class:`IterationTable`) and
@@ -58,6 +68,8 @@ class RuntimeController:
     platform: FpgaPlatform = ZC706
     power_model: PowerModel = DEFAULT_POWER_MODEL
     decisions: list[WindowDecision] = field(default_factory=list)
+    _counter: TwoBitSaturatingCounter = field(init=False, repr=False)
+    _active: HardwareConfig = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
         self._counter = TwoBitSaturatingCounter(initial=MAX_ITERATIONS)

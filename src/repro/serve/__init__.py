@@ -21,6 +21,22 @@ from repro.serve.accelerator import (
     ServiceCharge,
     make_pool,
 )
+from repro.serve.backend import (
+    BACKENDS,
+    ProcessBackend,
+    ThreadBackend,
+    make_backend,
+)
+from repro.serve.fleet import (
+    FleetCoordinator,
+    FleetReport,
+    HashRing,
+    ShardSpec,
+    merge_shard_metrics,
+    plan_shards,
+    run_fleet,
+    shard_service,
+)
 from repro.serve.loadgen import (
     PROFILES,
     LoadProfile,
@@ -31,7 +47,12 @@ from repro.serve.loadgen import (
 )
 from repro.serve.scheduler import Admission, Scheduler
 from repro.serve.service import LocalizationService, ServeReport, run_profile
-from repro.serve.session import Session, SessionState, WindowRequest
+from repro.serve.session import (
+    Session,
+    SessionState,
+    WindowOutcome,
+    WindowRequest,
+)
 from repro.serve.telemetry import (
     METRICS_SCHEMA_VERSION,
     LatencyHistogram,
@@ -43,25 +64,38 @@ from repro.serve.telemetry import (
 __all__ = [
     "AcceleratorInstance",
     "Admission",
+    "BACKENDS",
     "FIDELITIES",
+    "FleetCoordinator",
+    "FleetReport",
+    "HashRing",
     "LatencyHistogram",
     "LoadProfile",
     "LocalizationService",
     "METRICS_SCHEMA_VERSION",
     "PROFILES",
+    "ProcessBackend",
     "Scheduler",
     "ServeReport",
     "ServiceCharge",
     "Session",
     "SessionMetrics",
     "SessionState",
+    "ShardSpec",
     "Telemetry",
+    "ThreadBackend",
+    "WindowOutcome",
     "WindowRequest",
     "available_profiles",
     "export_metrics",
+    "make_backend",
     "make_pool",
+    "merge_shard_metrics",
     "open_loop_arrivals",
+    "plan_shards",
     "resolve_profile",
+    "run_fleet",
     "run_profile",
     "session_sequence_config",
+    "shard_service",
 ]

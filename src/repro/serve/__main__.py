@@ -15,9 +15,11 @@ import dataclasses
 import os
 import sys
 
-from repro.engine import DEFAULT_CACHE_DIR, configure
+from repro.engine import DEFAULT_CACHE_DIR, Engine, configure
 from repro.errors import ConfigurationError, ServeError
 from repro.serve.accelerator import FIDELITIES
+from repro.serve.backend import BACKENDS
+from repro.serve.fleet import FleetCoordinator
 from repro.serve.loadgen import available_profiles, resolve_profile
 from repro.serve.service import LocalizationService
 
@@ -52,6 +54,37 @@ def build_parser() -> argparse.ArgumentParser:
         "--batch-size", type=int, metavar="N", help="override the micro-batch cap"
     )
     parser.add_argument("--seed", type=int, metavar="N", help="override the seed")
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        metavar="N",
+        help="shard sessions across N shared-nothing schedulers via "
+        "consistent hashing (default: 1, the single-queue service)",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=BACKENDS,
+        default="thread",
+        help="where NLS numerics run: in-process threads (the oracle) or "
+        "forked worker processes (true multicore); metrics are "
+        "byte-identical either way",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        metavar="N",
+        help="execution workers per shard (default: the shard's instance count)",
+    )
+    parser.add_argument(
+        "--drain",
+        type=int,
+        action="append",
+        default=[],
+        metavar="SHARD",
+        help="mark a shard drained/failed; its sessions rehash "
+        "deterministically onto the survivors (repeatable)",
+    )
     parser.add_argument(
         "--fidelity",
         choices=FIDELITIES,
@@ -128,11 +161,32 @@ def main(argv: list[str]) -> int:
         use_disk=not (args.no_cache or env_no_cache),
         jobs=args.jobs,
     )
+    use_disk = not (args.no_cache or env_no_cache)
     try:
         profile = _apply_overrides(resolve_profile(args.profile), args)
-        report = LocalizationService(
-            profile, engine=engine, fidelity=args.fidelity
-        ).run()
+        if args.shards == 1 and not args.drain:
+            report = LocalizationService(
+                profile,
+                engine=engine,
+                fidelity=args.fidelity,
+                backend=args.backend,
+                workers=args.workers,
+            ).run()
+        else:
+            # Shards must share nothing: each gets its own engine (same
+            # disk cache is fine — artifacts are content-addressed).
+            coordinator = FleetCoordinator(
+                profile,
+                args.shards,
+                backend=args.backend,
+                workers=args.workers,
+                fidelity=args.fidelity,
+                drained=frozenset(args.drain),
+                engine_factory=lambda: Engine(
+                    cache_dir=args.cache_dir, use_disk=use_disk, jobs=args.jobs
+                ),
+            )
+            report = coordinator.run()
     except (ConfigurationError, ServeError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -145,7 +199,9 @@ def main(argv: list[str]) -> int:
         print(f"chrome trace -> {report.write_chrome_trace(args.chrome_trace)}")
     if args.obs_metrics:
         print(f"obs metrics -> {report.write_obs_metrics(args.obs_metrics)}")
-    print(report.cache_line)
+    cache_line = getattr(report, "cache_line", None)
+    if cache_line:  # fleet runs keep per-shard engines; no single line
+        print(cache_line)
     return 0
 
 

@@ -5,9 +5,11 @@ Events — window arrivals, batch completions, instances freeing up — live
 in one heap ordered by ``(time, sequence number)``, so the schedule is a
 total order and a seeded run is bit-reproducible. Real work still
 happens: every served window runs the actual sliding-window NLS
-optimization (on a thread pool sized to the accelerator pool, one
-worker per instance), but *when* things happen is decided entirely by
-the analytical hardware latency model, never by wall-clock measurements.
+optimization on an execution backend (:mod:`repro.serve.backend`) sized
+to the accelerator pool — in-process threads by default, forked worker
+processes for true multicore — but *when* things happen is decided
+entirely by the analytical hardware latency model, never by wall-clock
+measurements, so the metrics are byte-identical across backends.
 
 Per event the loop does three things, always in the same order:
 
@@ -29,16 +31,16 @@ from __future__ import annotations
 
 import heapq
 import time
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import asdict, dataclass
 from pathlib import Path
 
 from repro.engine import SEQUENCE, design_reconfiguration, get_engine, named_design
-from repro.errors import ReproError, ServeError
+from repro.errors import ConfigurationError, ServeError
 from repro.obs.tracer import CLOCK_VIRTUAL, Trace
 from repro.runtime.controller import RuntimeController
 from repro.runtime.profiler import IterationTable
 from repro.serve.accelerator import AcceleratorInstance, make_pool
+from repro.serve.backend import make_backend
 from repro.serve.loadgen import (
     LoadProfile,
     closed_loop_start,
@@ -66,6 +68,9 @@ class ServeReport:
     wall_seconds: float  # stdout only — never part of the metrics file
     trace: Trace | None = None  # virtual-time spans; deterministic
     telemetry: Telemetry | None = None
+    # Wall-clock split (stdout/bench only): session build + backend
+    # start vs the event loop itself. wall_seconds is their sum.
+    prepare_seconds: float = 0.0
 
     def write_metrics(self, path: str | Path) -> Path:
         return export_metrics(self.metrics, path)
@@ -138,13 +143,39 @@ class LocalizationService:
         profile: LoadProfile,
         engine=None,
         fidelity: str = "analytical",
+        backend: str = "thread",
+        workers: int | None = None,
+        session_ids: tuple[int, ...] | None = None,
+        shard_id: int | None = None,
     ) -> None:
+        if backend == "process" and fidelity == "functional":
+            raise ConfigurationError(
+                "the process backend supports analytical fidelity only "
+                "(functional fidelity needs the window problem in the "
+                "parent process); use backend='thread'"
+            )
         self.profile = profile
         self.engine = engine if engine is not None else get_engine()
         self.fidelity = fidelity
+        self.backend_name = backend
+        self.workers = workers
+        # The session-id subset this service owns. None means the whole
+        # profile; a fleet shard passes its consistent-hash slice. Ids
+        # are *global*: arrival times and sequence configs are seeded
+        # per id, so a shard run equals the same ids run standalone.
+        self.session_ids = (
+            tuple(range(profile.num_sessions))
+            if session_ids is None
+            else tuple(sorted(session_ids))
+        )
+        if not self.session_ids:
+            raise ConfigurationError("a service needs at least one session id")
+        self.shard_id = shard_id
         self._event_seq = 0
         self._request_seq = 0
         self._events: list[tuple[float, int, str, int]] = []
+        self._prepared = False
+        self._backend = None
 
     # ------------------------------------------------------------------
     # Setup
@@ -161,19 +192,17 @@ class LocalizationService:
         self.static_config = design.config
         self.reconfig = reconfig
 
-        self.sessions: list[Session] = []
-        for sid in range(profile.num_sessions):
+        self.sessions: dict[int, Session] = {}
+        for sid in self.session_ids:
             sequence = self.engine.run(
                 SEQUENCE, session_sequence_config(profile, sid)
             )
-            self.sessions.append(
-                Session(
-                    session_id=sid,
-                    sequence=sequence,
-                    controller=prototype.for_session(),
-                    window_size=profile.window_size,
-                    capture_problems=self.fidelity == "functional",
-                )
+            self.sessions[sid] = Session(
+                session_id=sid,
+                sequence=sequence,
+                controller=prototype.for_session(),
+                window_size=profile.window_size,
+                capture_problems=self.fidelity == "functional",
             )
 
         self.pool: list[AcceleratorInstance] = make_pool(
@@ -188,20 +217,23 @@ class LocalizationService:
         # All spans are stamped with virtual times from the (single
         # threaded) event loop, so the trace is byte-identical across
         # repeats and across wall-clock worker counts.
-        self.trace = Trace(clock=CLOCK_VIRTUAL, name=f"serve:{profile.name}")
-        for session in self.sessions:
+        trace_name = f"serve:{profile.name}"
+        if self.shard_id is not None:
+            trace_name = f"{trace_name}:shard{self.shard_id}"
+        self.trace = Trace(clock=CLOCK_VIRTUAL, name=trace_name)
+        for session in self.sessions.values():
             self.telemetry.session(
                 session.session_id, session.sequence.config.name
             )
 
         if profile.arrival == "poisson":
-            for session in self.sessions:
+            for session in self.sessions.values():
                 for t in open_loop_arrivals(
                     profile, session.session_id, session.total_windows
                 ):
                     self._push_event(t, _ARRIVAL, session.session_id)
         else:
-            for session in self.sessions:
+            for session in self.sessions.values():
                 if session.total_windows > 0:
                     self._push_event(
                         closed_loop_start(profile, session.session_id),
@@ -217,15 +249,31 @@ class LocalizationService:
     # The event loop
     # ------------------------------------------------------------------
 
-    def run(self) -> ServeReport:
-        started = time.perf_counter()
-        memo_before = self.engine.stats.memory_hits
-        distinct_before = self.engine.stats.computed + self.engine.stats.disk_hits
-        self._build()
+    def prepare(self) -> None:
+        """Build sessions and start the execution backend.
 
-        workers = max(1, len(self.pool))
-        with ThreadPoolExecutor(max_workers=workers) as executor:
-            self._executor = executor
+        Split from :meth:`run` so a fleet coordinator can fork process
+        workers from the main thread (before shard event loops start on
+        threads) — forking from a threaded process is a footgun.
+        """
+        if self._prepared:
+            return
+        prep_started = time.perf_counter()
+        self._memo_before = self.engine.stats.memory_hits
+        self._distinct_before = (
+            self.engine.stats.computed + self.engine.stats.disk_hits
+        )
+        self._build()
+        workers = self.workers if self.workers is not None else len(self.pool)
+        self._backend = make_backend(self.backend_name, max(1, workers))
+        self._backend.start(self.sessions)
+        self.prepare_seconds = time.perf_counter() - prep_started
+        self._prepared = True
+
+    def run(self) -> ServeReport:
+        self.prepare()
+        started = time.perf_counter()
+        try:
             while self._events:
                 t, _, kind, payload = heapq.heappop(self._events)
                 if kind == _ARRIVAL:
@@ -236,16 +284,17 @@ class LocalizationService:
                 # the dispatcher at the instant an instance goes idle.
                 self._pump(t)
                 self._dispatch(t)
-            self._executor = None
+        finally:
+            self._backend.stop()
 
-        for session in self.sessions:
+        for session in self.sessions.values():
             session.maybe_drain()
         # A session may end WAITING with frames remaining (the arrival
         # horizon closed mid-recording); what must NOT survive the loop
         # is in-flight work, per-session backlog, or queued requests.
         stuck = [
             s.session_id
-            for s in self.sessions
+            for s in self.sessions.values()
             if s.state is SessionState.INFLIGHT or s.pending
         ]
         if stuck or len(self.scheduler) > 0:
@@ -255,19 +304,20 @@ class LocalizationService:
             )
         wall = time.perf_counter() - started
         metrics = self._metrics(
-            memo_hits=self.engine.stats.memory_hits - memo_before,
+            memo_hits=self.engine.stats.memory_hits - self._memo_before,
             distinct_artifacts=(
                 self.engine.stats.computed + self.engine.stats.disk_hits
             )
-            - distinct_before,
+            - self._distinct_before,
         )
         return ServeReport(
             profile=self.profile,
             metrics=metrics,
             cache_line=self.engine.stats_line(),
-            wall_seconds=wall,
+            wall_seconds=wall + self.prepare_seconds,
             trace=self.trace,
             telemetry=self.telemetry,
+            prepare_seconds=self.prepare_seconds,
         )
 
     def _on_complete(self, t: float, session: Session) -> None:
@@ -285,7 +335,7 @@ class LocalizationService:
 
     def _pump(self, t: float) -> None:
         profile = self.profile
-        for session in self.sessions:
+        for session in self.sessions.values():
             if session.state is not SessionState.READY:
                 # Backlog trimming below must wait too: frames have to
                 # enter the estimator in order, and an INFLIGHT session
@@ -293,16 +343,19 @@ class LocalizationService:
                 continue
             metrics = self.telemetry.session(session.session_id)
             # A robot whose backlog outgrew its bound sheds its oldest
-            # frames first (freshest data is worth the most).
+            # frames first (freshest data is worth the most). Sheds are
+            # estimator-mutating steps, so they route through the
+            # execution backend like served windows do: under the
+            # process backend the worker's session copy is the live one.
             while len(session.pending) > profile.max_pending_per_session:
                 frame_id, _ = session.take_pending()
-                session.shed(frame_id)
+                self._backend.shed(session.session_id, frame_id)
                 self.scheduler.record_shed()
                 self.telemetry.record_shed(metrics, t)
             admission = self.scheduler.admit()
             frame_id, ready_time = session.take_pending()
             if admission is Admission.SHED:
-                session.shed(frame_id)
+                self._backend.shed(session.session_id, frame_id)
                 self.scheduler.record_shed()
                 self.telemetry.record_shed(metrics, t)
                 session.maybe_drain()
@@ -347,17 +400,9 @@ class LocalizationService:
         # Execute every job of every batch concurrently in wall time;
         # virtual-time accounting below consumes results in submission
         # order, so worker interleaving cannot change the outcome.
-        jobs = [
-            (request, self.sessions[request.session_id])
-            for _, batch in assignments
-            for request in batch
-        ]
-        results = list(
-            self._executor.map(lambda job: self._run_job(*job), jobs)
-        )
-        result_by_seq = {
-            request.seq: outcome for (request, _), outcome in zip(jobs, results)
-        }
+        jobs = [request for _, batch in assignments for request in batch]
+        results = self._backend.run_jobs(jobs)
+        result_by_seq = {outcome.seq: outcome for outcome in results}
 
         for instance, batch in assignments:
             self.telemetry.record_batch(len(batch))
@@ -367,7 +412,7 @@ class LocalizationService:
                 session = self.sessions[request.session_id]
                 metrics = self.telemetry.session(session.session_id)
                 outcome = result_by_seq[request.seq]
-                if isinstance(outcome, ReproError):
+                if not outcome.ok:
                     self.telemetry.errors += 1
                     session.on_complete()
                     session.maybe_drain()
@@ -443,13 +488,6 @@ class LocalizationService:
                 )
                 self._push_event(cursor, _FREE, instance.instance_id)
 
-    @staticmethod
-    def _run_job(request: WindowRequest, session: Session):
-        try:
-            return session.execute(request)
-        except ReproError as error:
-            return error
-
     # ------------------------------------------------------------------
     # Metrics assembly
     # ------------------------------------------------------------------
@@ -470,6 +508,14 @@ class LocalizationService:
             "nm": self.static_config.nm,
             "s": self.static_config.s,
         }
+        # Which slice of the fleet this run served. Deliberately free of
+        # backend/worker facts: the same shard must export byte-identical
+        # metrics under the thread oracle and the process backend.
+        metrics["shard"] = {
+            "shard_id": -1 if self.shard_id is None else self.shard_id,
+            "session_ids": list(self.session_ids),
+            "num_sessions": len(self.session_ids),
+        }
         # Only run-invariant cache numbers belong here: blob-level disk
         # counters depend on whether a previous run warmed the cache, and
         # SERVE_METRICS.json must be byte-identical across repeats.
@@ -481,7 +527,13 @@ class LocalizationService:
 
 
 def run_profile(
-    profile: LoadProfile, engine=None, fidelity: str = "analytical"
+    profile: LoadProfile,
+    engine=None,
+    fidelity: str = "analytical",
+    backend: str = "thread",
+    workers: int | None = None,
 ) -> ServeReport:
     """Convenience wrapper: build the service and run it once."""
-    return LocalizationService(profile, engine=engine, fidelity=fidelity).run()
+    return LocalizationService(
+        profile, engine=engine, fidelity=fidelity, backend=backend, workers=workers
+    ).run()

@@ -28,6 +28,7 @@ from collections import deque
 from dataclasses import dataclass, field
 
 from repro.data.sequences import Sequence
+from repro.data.stats import WindowStats
 from repro.errors import ServeError
 from repro.hw.config import HardwareConfig
 from repro.runtime.controller import RuntimeController
@@ -47,12 +48,17 @@ class SessionState(enum.Enum):
     DRAINED = "drained"  # recording exhausted
 
 
-@dataclass(frozen=True)
+# Wire types are slots-only, not frozen: frozen+slots dataclasses can't
+# be pickled on Python 3.10 (CPython gained the needed __getstate__ /
+# __setstate__ pair only in 3.11), and picklability is load-bearing —
+# the process execution backend ships these across worker pipes.
+@dataclass(slots=True)
 class WindowRequest:
     """One window's trip through the scheduler.
 
-    ``seq`` is a global monotone tiebreaker so heap ordering is total
-    and deterministic.
+    ``seq`` is a per-shard monotone tiebreaker so heap ordering is total
+    and deterministic. Requests are plain picklable value objects: the
+    process execution backend ships them to worker processes verbatim.
     """
 
     session_id: int
@@ -64,6 +70,56 @@ class WindowRequest:
     reconfigured: bool
     degraded: bool
     seq: int
+
+
+@dataclass(slots=True)
+class WindowOutcome:
+    """The picklable result of one session step crossing the worker seam.
+
+    Both execution backends (in-process threads and worker processes)
+    reduce a served window to this value object: the workload statistics
+    the latency/energy models charge from, the drift number telemetry
+    records, and — when the optimization failed with a typed error — the
+    error's name and message instead of a live exception object.
+    """
+
+    session_id: int
+    frame_id: int
+    seq: int
+    stats: WindowStats | None = None
+    newest_position_error: float = 0.0
+    iterations: int = 0
+    accepted_steps: int = 0
+    final_cost: float = 0.0
+    error_type: str | None = None
+    error_message: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error_type is None
+
+    @classmethod
+    def from_result(cls, request: WindowRequest, window) -> "WindowOutcome":
+        return cls(
+            session_id=request.session_id,
+            frame_id=request.frame_id,
+            seq=request.seq,
+            stats=window.stats,
+            newest_position_error=window.newest_position_error,
+            iterations=window.iterations,
+            accepted_steps=window.accepted_steps,
+            final_cost=window.final_cost,
+        )
+
+    @classmethod
+    def from_error(cls, request: WindowRequest, error: Exception) -> "WindowOutcome":
+        return cls(
+            session_id=request.session_id,
+            frame_id=request.frame_id,
+            seq=request.seq,
+            error_type=type(error).__name__,
+            error_message=str(error),
+        )
 
 
 @dataclass

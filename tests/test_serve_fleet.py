@@ -1,0 +1,318 @@
+"""Tests for the sharded serving tier (``repro.serve.fleet``) and the
+execution backends (``repro.serve.backend``).
+
+The load-bearing properties:
+
+* placement is deterministic, balanced (bounded loads), and draining a
+  shard moves its sessions (plus at most a bounded overflow) while the
+  rest stay put;
+* an N-shard fleet run is the union of N standalone single-shard runs —
+  per-shard metrics byte-identical;
+* the process backend reproduces the thread backend's per-shard metrics
+  byte for byte;
+* the wire types (requests, outcomes, controllers) survive pickling,
+  which is what the process backend rides on.
+"""
+
+import json
+import pickle
+
+import pytest
+
+from repro.engine import Engine
+from repro.errors import ConfigurationError
+from repro.runtime.controller import RuntimeController
+from repro.runtime.profiler import IterationTable
+from repro.runtime.reconfig import build_reconfiguration_table
+from repro.synth import high_perf_design
+from repro.serve import (
+    HashRing,
+    LoadProfile,
+    WindowOutcome,
+    WindowRequest,
+    merge_shard_metrics,
+    plan_shards,
+    run_fleet,
+    shard_service,
+)
+from repro.serve.service import LocalizationService
+
+
+def fleet_profile(**overrides):
+    base = dict(
+        name="fleet-mini",
+        num_sessions=6,
+        num_instances=2,
+        rate_hz=8.0,
+        duration_s=1.0,
+        sequence_duration_s=2.0,
+        seed=11,
+    )
+    base.update(overrides)
+    return LoadProfile(**base)
+
+
+class TestHashRing:
+    def test_assign_is_deterministic(self):
+        ring = HashRing([0, 1, 2])
+        again = HashRing([0, 1, 2])
+        assigned = [ring.assign(sid) for sid in range(64)]
+        assert assigned == [again.assign(sid) for sid in range(64)]
+        assert set(assigned) <= {0, 1, 2}
+
+    def test_preference_starts_at_home_and_covers_all_shards(self):
+        ring = HashRing([0, 1, 2, 3])
+        for sid in range(16):
+            order = list(ring.preference(sid))
+            assert order[0] == ring.assign(sid)
+            assert sorted(order) == [0, 1, 2, 3]
+
+    def test_removing_a_shard_moves_only_its_keys(self):
+        full = HashRing([0, 1, 2])
+        reduced = HashRing([0, 2])
+        for sid in range(64):
+            before = full.assign(sid)
+            after = reduced.assign(sid)
+            if before != 1:
+                assert after == before
+            else:
+                assert after in (0, 2)
+
+    def test_empty_ring_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HashRing([])
+        with pytest.raises(ConfigurationError):
+            HashRing([0], vnodes=0)
+
+
+class TestPlanShards:
+    def test_partition_is_exact_and_ordered(self):
+        profile = fleet_profile(num_sessions=16)
+        specs = plan_shards(profile, 4)
+        placed = sorted(sid for spec in specs for sid in spec.session_ids)
+        assert placed == list(range(16))
+        for spec in specs:
+            assert list(spec.session_ids) == sorted(spec.session_ids)
+
+    def test_bounded_loads(self):
+        profile = fleet_profile(num_sessions=16)
+        for shards in (2, 3, 4, 5):
+            specs = plan_shards(profile, shards)
+            cap = -(-16 // shards)
+            assert all(len(spec.session_ids) <= cap for spec in specs)
+
+    def test_instances_never_starved(self):
+        profile = fleet_profile(num_sessions=8, num_instances=2)
+        specs = plan_shards(profile, 4)
+        assert all(spec.num_instances >= 1 for spec in specs)
+        generous = plan_shards(fleet_profile(num_sessions=8, num_instances=6), 4)
+        assert sum(spec.num_instances for spec in generous) == 6
+
+    def test_repeat_determinism(self):
+        profile = fleet_profile(num_sessions=16)
+        assert plan_shards(profile, 4) == plan_shards(profile, 4)
+
+    def test_drain_rehashes_deterministically(self):
+        profile = fleet_profile(num_sessions=16)
+        full = {
+            sid: spec.shard_id
+            for spec in plan_shards(profile, 4)
+            for sid in spec.session_ids
+        }
+        drained = {
+            sid: spec.shard_id
+            for spec in plan_shards(profile, 4, drained={2})
+            for sid in spec.session_ids
+        }
+        again = {
+            sid: spec.shard_id
+            for spec in plan_shards(profile, 4, drained={2})
+            for sid in spec.session_ids
+        }
+        assert drained == again
+        assert set(drained.values()).isdisjoint({2})
+        moved = {sid for sid in full if full[sid] != drained[sid]}
+        shard2 = {sid for sid in full if full[sid] == 2}
+        # Every drained session moved; overflow rebalancing moves at
+        # most a cap's worth of others.
+        assert shard2 <= moved
+        assert len(moved - shard2) <= len(shard2)
+
+    def test_cannot_drain_everything(self):
+        with pytest.raises(ConfigurationError):
+            plan_shards(fleet_profile(), 2, drained={0, 1})
+
+
+class TestFleetRuns:
+    def test_fleet_is_union_of_standalone_shards(self):
+        profile = fleet_profile()
+        report = run_fleet(profile, 2)
+        for spec, shard_report in zip(report.specs, report.shard_reports):
+            if shard_report is None:
+                continue
+            standalone = shard_service(
+                profile, spec, engine=Engine(use_disk=False)
+            ).run()
+            assert json.dumps(shard_report.metrics, sort_keys=True) == json.dumps(
+                standalone.metrics, sort_keys=True
+            )
+
+    def test_process_backend_matches_thread_backend(self):
+        profile = fleet_profile()
+        thread = run_fleet(profile, 2, backend="thread")
+        process = run_fleet(profile, 2, backend="process")
+        for t, p in zip(thread.shard_reports, process.shard_reports):
+            if t is None:
+                assert p is None
+                continue
+            assert json.dumps(t.metrics, sort_keys=True) == json.dumps(
+                p.metrics, sort_keys=True
+            )
+        assert json.dumps(thread.metrics, sort_keys=True) == json.dumps(
+            process.metrics, sort_keys=True
+        )
+
+    def test_repeat_runs_are_byte_identical(self, tmp_path):
+        profile = fleet_profile()
+        first = run_fleet(profile, 2)
+        second = run_fleet(profile, 2)
+        a = first.write_metrics(tmp_path / "a.json")
+        b = second.write_metrics(tmp_path / "b.json")
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_merged_totals_are_sums(self):
+        profile = fleet_profile()
+        report = run_fleet(profile, 2)
+        live = [r for r in report.shard_reports if r is not None]
+        for key in ("windows_served", "windows_shed", "errors"):
+            assert report.metrics["totals"][key] == sum(
+                r.metrics["totals"][key] for r in live
+            )
+        assert report.metrics["totals"]["makespan_s"] == max(
+            r.metrics["totals"]["makespan_s"] for r in live
+        )
+        assert report.metrics["latency_ms"]["count"] == sum(
+            r.metrics["latency_ms"]["count"] for r in live
+        )
+        assert report.metrics["fleet"]["num_shards"] == 2
+
+    def test_drained_fleet_serves_everything(self):
+        profile = fleet_profile()
+        report = run_fleet(profile, 3, drained={1})
+        assert report.metrics["fleet"]["drained"] == [1]
+        placed = sorted(
+            sid for spec in report.specs for sid in spec.session_ids
+        )
+        assert placed == list(range(profile.num_sessions))
+        assert {spec.shard_id for spec in report.specs} == {0, 2}
+
+    def test_merge_requires_input(self):
+        from repro.errors import ServeError
+
+        with pytest.raises(ServeError):
+            merge_shard_metrics([], fleet_profile(), 1)
+
+    def test_obs_export_round_trips(self, tmp_path):
+        report = run_fleet(fleet_profile(), 2)
+        path = report.write_obs_metrics(tmp_path / "OBS_METRICS.json")
+        data = json.loads(path.read_text())
+        assert data["gauges"]["serve_num_shards"] == 2.0
+        assert (
+            data["counters"]["serve_windows_served_total"]
+            == report.metrics["totals"]["windows_served"]
+        )
+        assert (
+            data["histograms"]["serve_latency_seconds"]["count"]
+            == report.metrics["latency_ms"]["count"]
+        )
+
+
+class TestBackends:
+    def test_process_backend_matches_thread_single_service(self):
+        profile = fleet_profile(num_sessions=3, num_instances=2)
+        thread = LocalizationService(
+            profile, engine=Engine(use_disk=False), backend="thread"
+        ).run()
+        process = LocalizationService(
+            profile, engine=Engine(use_disk=False), backend="process"
+        ).run()
+        assert json.dumps(thread.metrics, sort_keys=True) == json.dumps(
+            process.metrics, sort_keys=True
+        )
+
+    def test_worker_count_does_not_change_metrics(self):
+        profile = fleet_profile(num_sessions=3, num_instances=2)
+        one = LocalizationService(
+            profile, engine=Engine(use_disk=False), backend="process", workers=1
+        ).run()
+        three = LocalizationService(
+            profile, engine=Engine(use_disk=False), backend="process", workers=3
+        ).run()
+        assert json.dumps(one.metrics, sort_keys=True) == json.dumps(
+            three.metrics, sort_keys=True
+        )
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LocalizationService(
+                fleet_profile(), engine=Engine(use_disk=False), backend="fiber"
+            ).run()
+
+    def test_process_backend_rejected_for_functional_fidelity(self):
+        with pytest.raises(ConfigurationError):
+            LocalizationService(
+                fleet_profile(),
+                engine=Engine(use_disk=False),
+                fidelity="functional",
+                backend="process",
+            )
+
+
+class TestWireTypesPickle:
+    def test_window_request_round_trips(self):
+        request = WindowRequest(
+            session_id=3,
+            frame_id=7,
+            ready_time=0.25,
+            deadline=0.5,
+            iterations=4,
+            config=None,
+            reconfigured=True,
+            degraded=False,
+            seq=42,
+        )
+        clone = pickle.loads(pickle.dumps(request))
+        assert clone.session_id == request.session_id
+        assert clone.seq == request.seq
+        assert clone.deadline == request.deadline
+
+    def test_window_outcome_round_trips(self):
+        outcome = WindowOutcome(
+            session_id=1,
+            frame_id=2,
+            seq=9,
+            stats=None,
+            newest_position_error=0.125,
+            iterations=4,
+            accepted_steps=3,
+            final_cost=1.5,
+            error_type=None,
+            error_message=None,
+        )
+        clone = pickle.loads(pickle.dumps(outcome))
+        assert clone.ok
+        assert clone.seq == 9
+        assert clone.final_cost == 1.5
+
+    def test_runtime_controller_round_trips(self):
+        result = high_perf_design()
+        controller = RuntimeController(
+            table=IterationTable(),
+            reconfig=build_reconfiguration_table(result.config, result.spec),
+        )
+        controller.iteration_policy(60)
+        clone = pickle.loads(pickle.dumps(controller))
+        # The mutable hysteresis state must travel too: both copies make
+        # the same next decision.
+        assert clone.iteration_policy(110) == controller.iteration_policy(110)
+        assert clone.decisions == controller.decisions
