@@ -41,13 +41,28 @@ def make_window_problem(
     seed: int = 0,
     backend: str = "batched",
     huber_delta: float | None = 2.0,
+    scenario: str | None = None,
 ) -> WindowProblem:
     """A fig11-scale synthetic window: forward motion past a feature field.
 
     Every feature is anchored at the earliest keyframe that sees it and
     observed from the later keyframes it stays visible in, mirroring the
-    factor-graph shape the sliding-window estimator produces.
+    factor-graph shape the sliding-window estimator produces. With
+    ``scenario`` set, the window instead comes from the named degenerate
+    regime (:mod:`repro.scenarios`) — the perf trend on hard inputs, not
+    just the happy path.
     """
+    if scenario:
+        from repro.scenarios import make_scenario_window
+
+        return make_scenario_window(
+            scenario,
+            seed,
+            num_keyframes=num_keyframes,
+            num_features=num_features,
+            backend=backend,
+            huber_delta=huber_delta,
+        )
     rng = np.random.default_rng(seed)
     camera = PinholeCamera()
     speed = 1.2  # m/s forward
@@ -127,11 +142,16 @@ def _time_calls(fn, repeats: int, warmup: int = 1) -> float:
 
 
 def bench_backend(
-    backend: str, num_features: int, num_keyframes: int, repeats: int, seed: int
+    backend: str,
+    num_features: int,
+    num_keyframes: int,
+    repeats: int,
+    seed: int,
+    scenario: str | None = None,
 ) -> dict:
     """Measure one backend on the synthetic window."""
     problem = make_window_problem(
-        num_features, num_keyframes, seed=seed, backend=backend
+        num_features, num_keyframes, seed=seed, backend=backend, scenario=scenario
     )
     build_s = _time_calls(problem.build_linear_system, repeats)
     cost_s = _time_calls(problem.cost, repeats)
@@ -145,12 +165,12 @@ def bench_backend(
     # structure has been memoized.
     cache = reset_default_plan_cache()
     fresh = make_window_problem(
-        num_features, num_keyframes, seed=seed, backend=backend
+        num_features, num_keyframes, seed=seed, backend=backend, scenario=scenario
     )
     lm = levenberg_marquardt(fresh, LMConfig(max_iterations=6))
     plan_cache_cold = cache.stats()
     warm = make_window_problem(
-        num_features, num_keyframes, seed=seed, backend=backend
+        num_features, num_keyframes, seed=seed, backend=backend, scenario=scenario
     )
     levenberg_marquardt(warm, LMConfig(max_iterations=6))
     after_warm = cache.stats()
@@ -197,10 +217,15 @@ def run_benchmark(
     num_keyframes: int = 10,
     repeats: int = 5,
     seed: int = 0,
+    scenario: str | None = None,
 ) -> dict:
-    probe = make_window_problem(num_features, num_keyframes, seed=seed)
+    probe = make_window_problem(
+        num_features, num_keyframes, seed=seed, scenario=scenario
+    )
     results = {
-        backend: bench_backend(backend, num_features, num_keyframes, repeats, seed)
+        backend: bench_backend(
+            backend, num_features, num_keyframes, repeats, seed, scenario=scenario
+        )
         for backend in ("loop", "batched")
     }
     combined_speedup = (
@@ -217,6 +242,7 @@ def run_benchmark(
             "requested_features": num_features,
             "repeats": repeats,
             "seed": seed,
+            "scenario": scenario or "nominal",
         },
         "backends": results,
         "combined_speedup": combined_speedup,
@@ -229,6 +255,14 @@ def main() -> int:
     parser.add_argument("--keyframes", type=int, default=10)
     parser.add_argument("--repeats", type=int, default=5)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--scenario",
+        default=None,
+        metavar="NAME",
+        help="bench a degenerate regime from repro.scenarios "
+        "(tunnel, loop_closure, aggressive, highway, mixed) "
+        "instead of the nominal window",
+    )
     parser.add_argument(
         "--output",
         type=Path,
@@ -248,6 +282,7 @@ def main() -> int:
         num_keyframes=args.keyframes,
         repeats=args.repeats,
         seed=args.seed,
+        scenario=args.scenario,
     )
     args.output.write_text(json.dumps(report, indent=2) + "\n")
 
@@ -256,7 +291,8 @@ def main() -> int:
     print(
         f"workload: {report['workload']['num_features']} features, "
         f"{report['workload']['num_keyframes']} keyframes, "
-        f"{report['workload']['num_observations']} observations"
+        f"{report['workload']['num_observations']} observations "
+        f"({report['workload']['scenario']})"
     )
     for name, entry in (("loop", loop), ("batched", batched)):
         print(

@@ -50,8 +50,9 @@ def base_profile(args: argparse.Namespace) -> LoadProfile:
     the *same* fixed set of windows and throughput = capacity.
     """
     return LoadProfile(
-        name="bench-serve",
+        name="bench-serve" + (f"-{args.scenario}" if args.scenario else ""),
         description="throughput-scaling workload for bench_serve.py",
+        scenario=args.scenario,
         num_sessions=args.sessions,
         num_instances=1,
         arrival="poisson",
@@ -166,6 +167,7 @@ def run_benchmark(args: argparse.Namespace) -> dict:
             "rate_hz": profile.rate_hz,
             "duration_s": profile.duration_s,
             "sequence_duration_s": profile.sequence_duration_s,
+            "scenario": profile.scenario or "nominal",
             "seed": profile.seed,
         },
         "pools": pools,
@@ -181,6 +183,13 @@ def main() -> int:
     parser.add_argument("--rate", type=float, default=60.0)
     parser.add_argument("--duration", type=float, default=1.5)
     parser.add_argument("--sequence-duration", type=float, default=4.0)
+    parser.add_argument(
+        "--scenario",
+        default="",
+        metavar="NAME",
+        help="serve a degenerate regime's recordings instead of the "
+        "catalog mix (tunnel, loop_closure, aggressive, highway, mixed)",
+    )
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
         "--output",

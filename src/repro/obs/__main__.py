@@ -1,10 +1,13 @@
 """CLI: ``python -m repro.obs report <trace.jsonl>`` and
-``python -m repro.obs validate <trace.json>``.
+``python -m repro.obs validate <artifact.json>``.
 
 ``report`` prints the per-category latency rollup of a JSONL trace;
-``validate`` checks a Chrome ``trace_event`` JSON export against the
-schema (the gate CI applies to the serve smoke trace) and exits nonzero
-on any problem.
+``validate`` checks a JSON artifact against its schema and exits
+nonzero on any problem. The artifact kind is detected from its content:
+a ``traceEvents`` array is a Chrome ``trace_event`` export (the gate CI
+applies to the serve smoke trace); a ``schema: "repro.scenarios/..."``
+marker is a scenario-matrix ``SCENARIOS.json`` report (the gate the
+``scenario-matrix`` CI job applies).
 """
 
 from __future__ import annotations
@@ -16,6 +19,7 @@ from pathlib import Path
 
 from repro.obs.report import render_rollup
 from repro.obs.tracer import Trace, validate_chrome_trace
+from repro.obs.validate import SCENARIO_SCHEMA_PREFIX, validate_scenario_report
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -31,9 +35,14 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("trace", metavar="TRACE.jsonl", help="flat JSONL trace file")
 
     validate = commands.add_parser(
-        "validate", help="validate a Chrome trace_event JSON export"
+        "validate",
+        help="validate a JSON artifact (Chrome trace or SCENARIOS.json)",
     )
-    validate.add_argument("trace", metavar="TRACE.json", help="Chrome trace JSON file")
+    validate.add_argument(
+        "trace",
+        metavar="ARTIFACT.json",
+        help="Chrome trace JSON or scenario-matrix report",
+    )
     return parser
 
 
@@ -57,6 +66,18 @@ def main(argv: list[str] | None = None) -> int:
     except json.JSONDecodeError as error:
         print(f"error: {path} is not valid JSON: {error}", file=sys.stderr)
         return 1
+    if isinstance(data, dict) and str(data.get("schema", "")).startswith(
+        SCENARIO_SCHEMA_PREFIX
+    ):
+        problems = validate_scenario_report(data)
+        if problems:
+            for problem in problems:
+                print(f"invalid: {problem}", file=sys.stderr)
+            return 1
+        cells = len(data["cells"])
+        verdict = "PASS" if data["passed"] else "FAIL"
+        print(f"{path.name}: valid scenario-matrix report ({cells} cells, {verdict})")
+        return 0
     problems = validate_chrome_trace(data)
     if problems:
         for problem in problems:

@@ -1,0 +1,101 @@
+"""Schema validation for the ``SCENARIOS.json`` scenario-matrix report.
+
+Pure-structure checks (no imports from the testing layer): the CI
+``scenario-matrix`` job validates the uploaded artifact with
+``python -m repro.obs validate SCENARIOS.json`` before gating on it, so
+a half-written or hand-mangled report fails loudly instead of being
+archived as evidence.
+"""
+
+from __future__ import annotations
+
+SCENARIO_SCHEMA_PREFIX = "repro.scenarios/"
+
+_CELL_KEYS = {
+    "oracle": str,
+    "scenario": str,
+    "design_point": str,
+    "workload": str,
+    "passed": bool,
+    "checks": int,
+    "mismatches": list,
+    "seconds": (int, float),
+}
+
+
+def validate_scenario_report(data: object) -> list[str]:
+    """All schema problems of one scenario-matrix report (empty = valid)."""
+    problems: list[str] = []
+    if not isinstance(data, dict):
+        return [f"report must be a JSON object, got {type(data).__name__}"]
+    schema = data.get("schema")
+    if not isinstance(schema, str) or not schema.startswith(SCENARIO_SCHEMA_PREFIX):
+        problems.append(
+            f"schema must be a string starting with {SCENARIO_SCHEMA_PREFIX!r}, "
+            f"got {schema!r}"
+        )
+    if not isinstance(data.get("passed"), bool):
+        problems.append("missing boolean 'passed' verdict")
+
+    cells = data.get("cells")
+    if not isinstance(cells, list) or not cells:
+        problems.append("'cells' must be a non-empty list")
+        cells = []
+    scenarios: set[str] = set()
+    designs: set[str] = set()
+    all_passed = True
+    for index, cell in enumerate(cells):
+        if not isinstance(cell, dict):
+            problems.append(f"cell {index} is not an object")
+            continue
+        for key, kind in _CELL_KEYS.items():
+            if key not in cell:
+                problems.append(f"cell {index} missing key {key!r}")
+            elif not isinstance(cell[key], kind):
+                problems.append(
+                    f"cell {index} key {key!r} has type "
+                    f"{type(cell[key]).__name__}"
+                )
+        if isinstance(cell.get("scenario"), str):
+            scenarios.add(cell["scenario"])
+        if isinstance(cell.get("design_point"), str):
+            designs.add(cell["design_point"])
+        if cell.get("passed") is False:
+            all_passed = False
+        if cell.get("passed") is True and cell.get("mismatches"):
+            problems.append(f"cell {index} passed but lists mismatches")
+    if isinstance(data.get("passed"), bool) and cells and data["passed"] != all_passed:
+        problems.append(
+            f"aggregate passed={data['passed']} contradicts the cells "
+            f"(all_passed={all_passed})"
+        )
+
+    for key, named in (("scenarios", scenarios), ("design_points", designs)):
+        listed = data.get(key)
+        if not isinstance(listed, list):
+            problems.append(f"'{key}' must be a list")
+        elif cells and set(listed) != named:
+            problems.append(
+                f"'{key}' {sorted(listed)} does not match the cells "
+                f"{sorted(named)}"
+            )
+
+    obs = data.get("obs")
+    if not isinstance(obs, dict):
+        problems.append("'obs' metrics section missing")
+    else:
+        for section in ("counters", "gauges", "histograms"):
+            if not isinstance(obs.get(section), dict):
+                problems.append(f"obs section {section!r} missing")
+        counters = obs.get("counters", {})
+        if (
+            isinstance(counters, dict)
+            and cells
+            and counters.get("scenario_matrix_cells_total") != float(len(cells))
+        ):
+            problems.append(
+                "obs counter scenario_matrix_cells_total "
+                f"({counters.get('scenario_matrix_cells_total')}) does not "
+                f"match the {len(cells)} cells"
+            )
+    return problems

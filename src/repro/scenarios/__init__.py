@@ -1,0 +1,41 @@
+"""Named degenerate workload regimes and their deterministic lowerings.
+
+See :mod:`repro.scenarios.spec` for the regime registry and
+:mod:`repro.scenarios.builders` for the per-layer lowerings
+(window problems, stats series, sequence configs). ``docs/scenarios.md``
+describes each regime and its paper grounding.
+"""
+
+from repro.scenarios.builders import (
+    make_drought_window,
+    make_scenario_stats_series,
+    make_scenario_window,
+    scenario_sequence_config,
+)
+from repro.scenarios.spec import (
+    DEGENERATE_REGIMES,
+    REGIME_DESCRIPTIONS,
+    REGIMES,
+    SCENARIOS,
+    ScenarioSpec,
+    available_scenarios,
+    mixture,
+    pure,
+    resolve_scenario,
+)
+
+__all__ = [
+    "DEGENERATE_REGIMES",
+    "REGIME_DESCRIPTIONS",
+    "REGIMES",
+    "SCENARIOS",
+    "ScenarioSpec",
+    "available_scenarios",
+    "make_drought_window",
+    "make_scenario_stats_series",
+    "make_scenario_window",
+    "mixture",
+    "pure",
+    "resolve_scenario",
+    "scenario_sequence_config",
+]

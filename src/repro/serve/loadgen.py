@@ -47,25 +47,49 @@ class LoadProfile:
     max_pending_per_session: int = 4  # per-robot backlog before shedding
     batch_size: int = 4  # micro-batch cap per dispatch
     design: str = "High-Perf"  # named Tbl. 2 design backing the pool
+    scenario: str = ""  # "" = catalog mix; else a repro.scenarios regime
     seed: int = 0
 
+    # Validation names the offending field so a bad override in a CLI
+    # flag or profile table is a one-look diagnosis, not a guessing game
+    # over an aggregate message.
+    _AT_LEAST_ONE = (
+        "num_sessions",
+        "num_instances",
+        "max_queue",
+        "batch_size",
+        "max_pending_per_session",
+    )
+    _POSITIVE = (
+        "rate_hz",
+        "think_time_s",
+        "duration_s",
+        "sequence_duration_s",
+        "deadline_s",
+    )
+
     def __post_init__(self) -> None:
-        if self.num_sessions < 1 or self.num_instances < 1:
-            raise ConfigurationError("need >= 1 session and >= 1 instance")
+        for name in self._AT_LEAST_ONE:
+            value = getattr(self, name)
+            if value < 1:
+                raise ConfigurationError(f"{name} must be >= 1, got {value}")
         if self.arrival not in ("poisson", "closed"):
             raise ConfigurationError(
                 f"arrival must be 'poisson' or 'closed', got {self.arrival!r}"
             )
-        if self.rate_hz <= 0 or self.duration_s <= 0 or self.sequence_duration_s <= 0:
-            raise ConfigurationError("rates and durations must be positive")
-        if self.max_queue < 1 or self.batch_size < 1:
-            raise ConfigurationError("max_queue and batch_size must be >= 1")
+        for name in self._POSITIVE:
+            value = getattr(self, name)
+            if value <= 0:
+                raise ConfigurationError(f"{name} must be positive, got {value}")
         if self.backpressure > self.max_queue:
-            raise ConfigurationError("backpressure threshold must be <= max_queue")
-        if self.deadline_s <= 0 or self.think_time_s < 0:
-            raise ConfigurationError("deadline must be positive, think time >= 0")
-        if self.max_pending_per_session < 1:
-            raise ConfigurationError("max_pending_per_session must be >= 1")
+            raise ConfigurationError(
+                f"backpressure ({self.backpressure}) must be <= "
+                f"max_queue ({self.max_queue})"
+            )
+        if self.scenario:
+            from repro.scenarios import resolve_scenario
+
+            resolve_scenario(self.scenario)  # raises with did-you-mean
 
 
 # The dataset mix: sessions cycle through the catalog, so a fleet larger
@@ -77,7 +101,20 @@ _CATALOG_CYCLE = tuple(
 
 
 def session_sequence_config(profile: LoadProfile, session_id: int) -> SequenceConfig:
-    """The catalog sequence backing one session, at the profile length."""
+    """The catalog sequence backing one session, at the profile length.
+
+    A scenario-tagged profile replaces the catalog mix with the regime's
+    synthetic recordings: each session gets the deterministic
+    :func:`repro.scenarios.scenario_sequence_config` for its id, so
+    degrade/shed behaviour is exercised by realistic degenerate inputs
+    rather than hand-injected faults.
+    """
+    if profile.scenario:
+        from repro.scenarios import scenario_sequence_config
+
+        return scenario_sequence_config(
+            profile.scenario, session_id, duration=profile.sequence_duration_s
+        )
     kind, name = _CATALOG_CYCLE[session_id % len(_CATALOG_CYCLE)]
     catalog = EUROC_SEQUENCES if kind == "euroc" else KITTI_SEQUENCES
     return replace(catalog[name], duration=profile.sequence_duration_s)
@@ -157,6 +194,64 @@ PROFILES: dict[str, LoadProfile] = {
         think_time_s=0.03,
         duration_s=8.0,
         sequence_duration_s=3.0,
+    ),
+    # Scenario-tagged profiles: the regime's synthetic recordings replace
+    # the catalog mix (see session_sequence_config). The two hard regimes
+    # carry overload-shaped scheduler knobs — max_queue below the session
+    # count (the single-inflight rule bounds depth by num_sessions) and a
+    # tight deadline — so DEGRADE and SHED trigger from the regime's own
+    # arrival pressure, with zero errors expected.
+    "scenario-tunnel": _profile(
+        "scenario-tunnel",
+        "12 drones burst-arriving through a feature-drought tunnel on 1 "
+        "instance: cheap windows at very high rate, shedding at admission",
+        num_sessions=12,
+        num_instances=1,
+        rate_hz=200.0,
+        duration_s=2.0,
+        sequence_duration_s=3.0,
+        max_queue=4,
+        backpressure=2,
+        deadline_s=0.02,
+        max_pending_per_session=1,
+        scenario="tunnel",
+    ),
+    "scenario-loop-closure": _profile(
+        "scenario-loop-closure",
+        "8 cars hitting loop closures on 1 instance: sudden large windows "
+        "overload service capacity",
+        num_sessions=8,
+        num_instances=1,
+        rate_hz=40.0,
+        duration_s=2.0,
+        sequence_duration_s=2.0,
+        max_queue=5,
+        backpressure=2,
+        deadline_s=0.05,
+        max_pending_per_session=2,
+        scenario="loop_closure",
+    ),
+    "scenario-aggressive": _profile(
+        "scenario-aggressive",
+        "8 drones under aggressive flight on 2 instances (high angular "
+        "rates, short tracks)",
+        num_sessions=8,
+        num_instances=2,
+        rate_hz=8.0,
+        duration_s=4.0,
+        sequence_duration_s=3.0,
+        scenario="aggressive",
+    ),
+    "scenario-highway": _profile(
+        "scenario-highway",
+        "8 cars at highway speed on 2 instances (distant low-parallax "
+        "features)",
+        num_sessions=8,
+        num_instances=2,
+        rate_hz=8.0,
+        duration_s=4.0,
+        sequence_duration_s=3.0,
+        scenario="highway",
     ),
 }
 

@@ -5,6 +5,12 @@ engine's parallel runner, writes the ``CONFORMANCE.json`` artifact, and
 exits nonzero on any mismatch. ``--perturb ORACLE`` deliberately skews
 that oracle's inputs — the run must then fail, which is the built-in
 proof that the gate detects disagreement rather than passing vacuously.
+
+``--scenarios`` switches the workload axis to the degenerate-regime
+grid: every oracle x every scenario x every named design point
+(:data:`repro.testing.oracles.DESIGN_POINTS`), written as the per-cell
+``SCENARIOS.json`` artifact (validate with
+``python -m repro.obs validate SCENARIOS.json``).
 """
 
 from __future__ import annotations
@@ -19,6 +25,10 @@ from repro.testing.conformance import (
     run_conformance,
 )
 from repro.testing.oracles import ORACLES
+from repro.testing.scenario_matrix import (
+    DEFAULT_MATRIX_SCENARIOS,
+    run_scenario_matrix,
+)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -29,7 +39,20 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--quick",
         action="store_true",
-        help="run the fast CI matrix (smaller scales, same four oracles)",
+        help="run the fast CI matrix (smaller scales, same oracles)",
+    )
+    parser.add_argument(
+        "--scenarios",
+        action="store_true",
+        help="run the oracle x scenario x design-point matrix instead of "
+        "the oracle x workload matrix (writes SCENARIOS.json)",
+    )
+    parser.add_argument(
+        "--scenario",
+        action="append",
+        metavar="NAME",
+        help="restrict the --scenarios grid to one scenario (repeatable); "
+        f"default: {list(DEFAULT_MATRIX_SCENARIOS)}",
     )
     parser.add_argument(
         "--oracle",
@@ -47,9 +70,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--output",
-        default="CONFORMANCE.json",
+        default=None,
         metavar="PATH",
-        help="where to write the JSON report (default: CONFORMANCE.json)",
+        help="where to write the JSON report (default: CONFORMANCE.json, "
+        "or SCENARIOS.json under --scenarios)",
+    )
+    parser.add_argument(
+        "--cache",
+        action="store_true",
+        help="run through the disk-backed engine artifact cache "
+        "(REPRO_CACHE_DIR / .repro_cache) so repeat runs and CI "
+        "restores skip recomputation",
     )
     parser.add_argument(
         "--perturb",
@@ -70,19 +101,40 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str]) -> int:
     args = build_parser().parse_args(argv)
-    workloads = QUICK_WORKLOADS if args.quick else DEFAULT_WORKLOADS
+    if args.scenario and not args.scenarios:
+        print("error: --scenario requires --scenarios", file=sys.stderr)
+        return 2
+    engine = None
+    if args.cache:
+        from repro.engine.engine import Engine
+
+        engine = Engine(use_disk=True, jobs=args.jobs)
     try:
-        run = run_conformance(
-            workloads=workloads,
-            oracle_names=tuple(args.oracle) if args.oracle else None,
-            jobs=args.jobs,
-            perturb=args.perturb,
-            perturbation=args.perturbation,
-        )
+        if args.scenarios:
+            run = run_scenario_matrix(
+                scenarios=tuple(args.scenario) if args.scenario else None,
+                oracle_names=tuple(args.oracle) if args.oracle else None,
+                jobs=args.jobs,
+                quick=args.quick,
+                perturb=args.perturb,
+                perturbation=args.perturbation,
+                engine=engine,
+            )
+            output = args.output or "SCENARIOS.json"
+        else:
+            run = run_conformance(
+                workloads=QUICK_WORKLOADS if args.quick else DEFAULT_WORKLOADS,
+                oracle_names=tuple(args.oracle) if args.oracle else None,
+                jobs=args.jobs,
+                perturb=args.perturb,
+                perturbation=args.perturbation,
+                engine=engine,
+            )
+            output = args.output or "CONFORMANCE.json"
     except ConfigurationError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
-    path = run.write_json(args.output)
+    path = run.write_json(output)
     for line in run.summary_lines():
         print(line)
     print(f"report written to {path}")

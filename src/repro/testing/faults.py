@@ -22,11 +22,7 @@ import numpy as np
 from repro.data.sequences import ImuSegment, Sequence
 from repro.data.tracks import FrameObservations
 from repro.errors import ConfigurationError, ReproError
-from repro.geometry.camera import PinholeCamera
-from repro.geometry.navstate import NavState
-from repro.geometry.se3 import SE3
 from repro.slam.problem import WindowProblem
-from repro.slam.residuals import VisualFactor
 
 CACHE_CORRUPTION_MODES = ("truncate", "garbage", "empty")
 
@@ -115,29 +111,16 @@ def make_degenerate_window(
     depth information and the unregularized normal equations are
     singular — the regime LM damping (and the typed
     :class:`repro.errors.SolverError` on the undamped path) must absorb.
+
+    This is the zero-baseline limit of the ``tunnel`` regime's feature
+    drought; the single generator lives in
+    :func:`repro.scenarios.make_drought_window` and this wrapper pins
+    its historical defaults (draw-for-draw identical output).
     """
-    rng = np.random.default_rng(seed)
-    camera = PinholeCamera()
-    pose = SE3(np.eye(3), np.zeros(3))
-    states = {
-        k: NavState(pose=pose, velocity=np.zeros(3)) for k in range(num_keyframes)
-    }
-    factors = []
-    inv_depths = {}
-    for fid in range(num_features):
-        bearing = np.array([rng.uniform(-0.3, 0.3), rng.uniform(-0.3, 0.3), 1.0])
-        pixel = np.array(
-            [rng.uniform(0.0, camera.width), rng.uniform(0.0, camera.height)]
-        )
-        factors.append(VisualFactor(fid, 0, 1, bearing, pixel, weight=1.0))
-        inv_depths[fid] = 0.2
-    return WindowProblem(
-        camera=camera,
-        states=states,
-        inv_depths=inv_depths,
-        visual_factors=factors,
-        imu_factors=[],
-        priors=[],
+    from repro.scenarios import make_drought_window
+
+    return make_drought_window(
+        seed=seed, num_keyframes=num_keyframes, num_features=num_features
     )
 
 

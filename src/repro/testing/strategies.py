@@ -23,6 +23,7 @@ from hypothesis import strategies as st
 
 from repro.data.sequences import SequenceConfig
 from repro.hw.config import ND_RANGE, NM_RANGE, S_RANGE, HardwareConfig
+from repro.scenarios import DEGENERATE_REGIMES, REGIMES, ScenarioSpec, mixture, pure
 from repro.synth.spec import DesignSpec
 from repro.testing.workloads import (
     make_random_stats,
@@ -98,6 +99,50 @@ def stats_series(max_windows: int = 24) -> st.SearchStrategy:
         seed=seeds(),
         num_windows=st.integers(min_value=1, max_value=max_windows),
     )
+
+
+# ----------------------------------------------------------------------
+# Scenario specs
+# ----------------------------------------------------------------------
+
+def severities() -> st.SearchStrategy[float]:
+    """Scenario severities — the spec's (0, 1] contract."""
+    return st.floats(min_value=0.05, max_value=1.0)
+
+
+def pure_scenarios(
+    regimes: tuple[str, ...] = REGIMES,
+) -> st.SearchStrategy[ScenarioSpec]:
+    """Single-regime specs across every named regime."""
+    return st.builds(
+        pure,
+        regime=st.sampled_from(regimes),
+        severity=severities(),
+        seed=seeds(),
+    )
+
+
+def mixture_scenarios(
+    regimes: tuple[str, ...] = DEGENERATE_REGIMES,
+) -> st.SearchStrategy[ScenarioSpec]:
+    """Seeded mixtures over 2+ degenerate regimes with random weights."""
+    weights = st.dictionaries(
+        st.sampled_from(regimes),
+        st.floats(min_value=0.1, max_value=5.0),
+        min_size=2,
+        max_size=len(regimes),
+    )
+    return st.builds(
+        mixture,
+        components=weights,
+        severity=severities(),
+        seed=seeds(),
+    )
+
+
+def scenario_specs() -> st.SearchStrategy[ScenarioSpec]:
+    """Any valid scenario spec: pure regimes and seeded mixtures."""
+    return st.one_of(pure_scenarios(), mixture_scenarios())
 
 
 # ----------------------------------------------------------------------

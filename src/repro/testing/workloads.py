@@ -31,13 +31,29 @@ def make_random_window(
     huber_delta: float | None = None,
     lift_last_keyframe: float = 0.0,
     backend: str = "batched",
+    scenario: str | None = None,
 ) -> WindowProblem:
     """A randomized window with rotated keyframes and noisy pixels.
 
     ``lift_last_keyframe`` pushes the final keyframe down the optical
     axis so features shallower than the lift land behind its camera —
     the culled-observation regime the boolean mask must reproduce.
+
+    ``scenario`` reshapes the window into a named degenerate regime via
+    :func:`repro.scenarios.make_scenario_window` (``None``/``"nominal"``
+    keeps the nominal shape and its exact historical RNG draw order).
     """
+    if scenario is not None and scenario != "nominal":
+        from repro.scenarios import make_scenario_window
+
+        return make_scenario_window(
+            scenario,
+            seed,
+            num_keyframes=num_keyframes,
+            num_features=num_features,
+            backend=backend,
+            huber_delta=huber_delta,
+        )
     rng = np.random.default_rng(seed)
     camera = PinholeCamera()
     states: dict[int, NavState] = {}
@@ -121,8 +137,24 @@ def make_stats_series(
     num_windows: int = 16,
     max_features: int = 200,
     max_iterations: int = 6,
+    scenario: str | None = None,
 ) -> list[tuple[WindowStats, int]]:
-    """A randomized ``(WindowStats, iterations)`` series for trace replay."""
+    """A randomized ``(WindowStats, iterations)`` series for trace replay.
+
+    ``scenario`` shapes the series temporally (droughts decay, loop
+    closures spike) via
+    :func:`repro.scenarios.make_scenario_stats_series`.
+    """
+    if scenario is not None and scenario != "nominal":
+        from repro.scenarios import make_scenario_stats_series
+
+        return make_scenario_stats_series(
+            scenario,
+            seed,
+            num_windows=num_windows,
+            max_features=max_features,
+            max_iterations=max_iterations,
+        )
     rng = np.random.default_rng(seed)
     series = []
     for index in range(num_windows):

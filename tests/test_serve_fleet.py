@@ -268,6 +268,105 @@ class TestBackends:
             )
 
 
+def scenario_fleet_profile(regime, **overrides):
+    """A small scenario-tagged profile with overload-shaped knobs, so the
+    hard regimes exercise DEGRADE/SHED inside the fleet paths too."""
+    base = dict(
+        name=f"fleet-{regime}",
+        num_sessions=6,
+        num_instances=1,
+        rate_hz=150.0,
+        duration_s=0.6,
+        sequence_duration_s=1.6,
+        max_queue=2,
+        backpressure=1,
+        deadline_s=0.02,
+        max_pending_per_session=1,
+        scenario=regime,
+        seed=13,
+    )
+    base.update(overrides)
+    return LoadProfile(**base)
+
+
+class TestHardRegimeFleet:
+    """The fleet/backend equivalences must hold under the degenerate
+    regimes, not just the nominal catalog mix — the scheduler takes the
+    DEGRADE/SHED branches there, which the nominal tests never reach."""
+
+    @pytest.mark.parametrize("regime", ["tunnel", "loop_closure"])
+    def test_process_matches_thread_under_hard_regimes(self, regime):
+        profile = scenario_fleet_profile(regime)
+        thread = run_fleet(profile, 2, backend="thread")
+        process = run_fleet(profile, 2, backend="process")
+        for t, p in zip(thread.shard_reports, process.shard_reports):
+            if t is None:
+                assert p is None
+                continue
+            assert json.dumps(t.metrics, sort_keys=True) == json.dumps(
+                p.metrics, sort_keys=True
+            )
+        assert json.dumps(thread.metrics, sort_keys=True) == json.dumps(
+            process.metrics, sort_keys=True
+        )
+
+    @pytest.mark.parametrize("regime", ["tunnel", "loop_closure"])
+    def test_fleet_is_union_of_standalone_shards_under_hard_regimes(self, regime):
+        profile = scenario_fleet_profile(regime)
+        report = run_fleet(profile, 2)
+        for spec, shard_report in zip(report.specs, report.shard_reports):
+            if shard_report is None:
+                continue
+            standalone = shard_service(
+                profile, spec, engine=Engine(use_disk=False)
+            ).run()
+            assert json.dumps(shard_report.metrics, sort_keys=True) == json.dumps(
+                standalone.metrics, sort_keys=True
+            )
+
+    def test_one_shard_fleet_matches_standalone_service(self):
+        profile = scenario_fleet_profile("tunnel")
+        fleet = run_fleet(profile, 1)
+        standalone = LocalizationService(profile, engine=Engine(use_disk=False)).run()
+        (shard_report,) = fleet.shard_reports
+        shard = dict(shard_report.metrics)
+        solo = dict(standalone.metrics)
+        # The shard section legitimately differs (the shard carries its
+        # placement spec); everything else must be byte-identical.
+        shard.pop("shard"), solo.pop("shard")
+        assert json.dumps(shard, sort_keys=True) == json.dumps(solo, sort_keys=True)
+
+    def test_shard_count_conserves_arrivals(self):
+        """Arrivals are per-session profile-seeded, so served + shed is
+        invariant under resharding even though per-shard queues differ."""
+        profile = scenario_fleet_profile("tunnel")
+        one = run_fleet(profile, 1)
+        two = run_fleet(profile, 2)
+        for report in (one, two):
+            assert report.metrics["totals"]["errors"] == 0
+        arrivals_one = (
+            one.metrics["totals"]["windows_served"]
+            + one.metrics["totals"]["windows_shed"]
+        )
+        arrivals_two = (
+            two.metrics["totals"]["windows_served"]
+            + two.metrics["totals"]["windows_shed"]
+        )
+        assert arrivals_one == arrivals_two
+
+    @pytest.mark.parametrize("regime", ["tunnel", "loop_closure"])
+    def test_hard_regimes_exercise_the_shed_paths(self, regime):
+        # One shard: splitting the fleet gives every shard its own
+        # instance (capacity doubles), which can serve the cheap tunnel
+        # windows without shedding — the saturated single shard is the
+        # configuration that must take the DEGRADE/SHED branches.
+        report = run_fleet(scenario_fleet_profile(regime), 1)
+        totals = report.metrics["totals"]
+        assert totals["windows_shed"] >= 1
+        assert totals["windows_degraded"] >= 1
+        assert totals["errors"] == 0
+
+
 class TestWireTypesPickle:
     def test_window_request_round_trips(self):
         request = WindowRequest(
