@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Non-gating portfolio-energy regression check for the portfolio-smoke CI job.
+
+Compares the marginal portfolio fleet's total window energy (virtual,
+deterministic) in a freshly generated ``BENCH_portfolio.json`` against
+the committed baseline and emits a GitHub Actions ``::warning::``
+annotation — *not* a failure — when energy regressed by more than the
+threshold, or when the Pareto-domination claim flipped off. Energy here
+is virtual-time accounting, so a change is a behaviour change (solver
+allocation, routing, power model), never runner noise — but the job
+stays non-gating so an intentional model retune doesn't block a merge
+before the baseline is regenerated.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/check_portfolio_regression.py \
+        --baseline BENCH_portfolio.baseline.json \
+        --current BENCH_portfolio.json \
+        [--threshold 0.25]
+
+Always exits 0 unless an input file is missing or malformed (exit 2):
+a broken harness should be visible, a changed number should be a
+warning.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def marginal_energy(report: dict) -> float:
+    """Total window + reconfiguration energy of the marginal fleet [J]."""
+    fleet = next(
+        f for f in report["fleets"] if f["label"] == "portfolio-marginal"
+    )
+    return float(fleet["energy_j"]) + float(fleet["reconfig_energy_j"])
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", type=Path, required=True)
+    parser.add_argument("--current", type=Path, required=True)
+    parser.add_argument(
+        "--threshold", type=float, default=0.25,
+        help="relative energy increase that triggers the warning "
+        "(0.25 = +25%%)",
+    )
+    args = parser.parse_args()
+
+    try:
+        baseline_report = json.loads(args.baseline.read_text())
+        current_report = json.loads(args.current.read_text())
+        baseline = marginal_energy(baseline_report)
+        current = marginal_energy(current_report)
+    except (OSError, KeyError, ValueError, TypeError, StopIteration) as error:
+        print(f"::error::portfolio regression check could not read inputs: {error}")
+        return 2
+
+    if baseline <= 0.0:
+        print(f"::warning::baseline energy is {baseline}; skipping comparison")
+        return 0
+
+    change = (current - baseline) / baseline
+    summary = (
+        f"portfolio fleet energy: baseline {baseline:.3f} J, "
+        f"current {current:.3f} J ({change:+.1%})"
+    )
+    if change > args.threshold:
+        print(f"::warning::{summary} — exceeds the {args.threshold:.0%} budget")
+    else:
+        print(summary)
+
+    if not current_report.get("portfolio_dominates_single", False):
+        print(
+            "::warning::the solved portfolio no longer Pareto-dominates the "
+            "best single-config fleet on (p99, energy)"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

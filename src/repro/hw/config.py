@@ -45,6 +45,15 @@ class HardwareConfig:
         """Componentwise <=: this config uses no more of any resource."""
         return self.nd <= other.nd and self.nm <= other.nm and self.s <= other.s
 
+    @property
+    def label(self) -> str:
+        """Stable human-readable identity, e.g. ``nd8-nm8-s16``.
+
+        The serving tier keys per-config telemetry on this string, so it
+        must be a pure function of the knobs — never of object identity.
+        """
+        return f"nd{self.nd}-nm{self.nm}-s{self.s}"
+
     def as_tuple(self) -> tuple[int, int, int]:
         return (self.nd, self.nm, self.s)
 

@@ -7,7 +7,9 @@ nonzero on any problem. The artifact kind is detected from its content:
 a ``traceEvents`` array is a Chrome ``trace_event`` export (the gate CI
 applies to the serve smoke trace); a ``schema: "repro.scenarios/..."``
 marker is a scenario-matrix ``SCENARIOS.json`` report (the gate the
-``scenario-matrix`` CI job applies).
+``scenario-matrix`` CI job applies); a ``schema: "repro.portfolio/..."``
+marker is a portfolio-solve ``PORTFOLIO.json`` report (gated by the
+``portfolio-smoke`` CI job).
 """
 
 from __future__ import annotations
@@ -19,7 +21,12 @@ from pathlib import Path
 
 from repro.obs.report import render_rollup
 from repro.obs.tracer import Trace, validate_chrome_trace
-from repro.obs.validate import SCENARIO_SCHEMA_PREFIX, validate_scenario_report
+from repro.obs.validate import (
+    PORTFOLIO_SCHEMA_PREFIX,
+    SCENARIO_SCHEMA_PREFIX,
+    validate_portfolio_report,
+    validate_scenario_report,
+)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -77,6 +84,18 @@ def main(argv: list[str] | None = None) -> int:
         cells = len(data["cells"])
         verdict = "PASS" if data["passed"] else "FAIL"
         print(f"{path.name}: valid scenario-matrix report ({cells} cells, {verdict})")
+        return 0
+    if isinstance(data, dict) and str(data.get("schema", "")).startswith(
+        PORTFOLIO_SCHEMA_PREFIX
+    ):
+        problems = validate_portfolio_report(data)
+        if problems:
+            for problem in problems:
+                print(f"invalid: {problem}", file=sys.stderr)
+            return 1
+        entries = len(data["entries"])
+        verdict = "SLO-MET" if data["slo_met"] else "SLO-MISSED"
+        print(f"{path.name}: valid portfolio report ({entries} configs, {verdict})")
         return 0
     problems = validate_chrome_trace(data)
     if problems:

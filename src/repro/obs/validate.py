@@ -10,6 +10,7 @@ archived as evidence.
 from __future__ import annotations
 
 SCENARIO_SCHEMA_PREFIX = "repro.scenarios/"
+PORTFOLIO_SCHEMA_PREFIX = "repro.portfolio/"
 
 _CELL_KEYS = {
     "oracle": str,
@@ -98,4 +99,99 @@ def validate_scenario_report(data: object) -> list[str]:
                 f"({counters.get('scenario_matrix_cells_total')}) does not "
                 f"match the {len(cells)} cells"
             )
+    return problems
+
+
+_ENTRY_KEYS = {
+    "config_id": str,
+    "count": int,
+    "nd": int,
+    "nm": int,
+    "s": int,
+    "power_w": (int, float),
+    "utilization": (int, float),
+    "assigned_regimes": list,
+}
+
+_SOLUTION_FLOATS = (
+    "expected_energy_per_window_j",
+    "expected_latency_s",
+    "provisioned_power_w",
+)
+
+
+def validate_portfolio_report(data: object) -> list[str]:
+    """All schema problems of one ``PORTFOLIO.json`` report (empty = valid)."""
+    problems: list[str] = []
+    if not isinstance(data, dict):
+        return [f"report must be a JSON object, got {type(data).__name__}"]
+    schema = data.get("schema")
+    if not isinstance(schema, str) or not schema.startswith(PORTFOLIO_SCHEMA_PREFIX):
+        problems.append(
+            f"schema must be a string starting with {PORTFOLIO_SCHEMA_PREFIX!r}, "
+            f"got {schema!r}"
+        )
+    if not isinstance(data.get("name"), str) or not data.get("name"):
+        problems.append("missing non-empty string 'name' (the forecast)")
+    if data.get("objective") not in ("energy", "latency"):
+        problems.append(
+            f"objective must be 'energy' or 'latency', got {data.get('objective')!r}"
+        )
+    if not isinstance(data.get("slo_met"), bool):
+        problems.append("missing boolean 'slo_met' verdict")
+    for key in _SOLUTION_FLOATS:
+        value = data.get(key)
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            problems.append(f"'{key}' must be a number, got {value!r}")
+        elif value < 0:
+            problems.append(f"'{key}' must be non-negative, got {value!r}")
+
+    entries = data.get("entries")
+    if not isinstance(entries, list) or not entries:
+        problems.append("'entries' must be a non-empty list")
+        entries = []
+    config_ids: set[str] = set()
+    total_count = 0
+    for index, entry in enumerate(entries):
+        if not isinstance(entry, dict):
+            problems.append(f"entry {index} is not an object")
+            continue
+        for key, kind in _ENTRY_KEYS.items():
+            if key not in entry:
+                problems.append(f"entry {index} missing key {key!r}")
+            elif not isinstance(entry[key], kind) or isinstance(entry[key], bool):
+                problems.append(
+                    f"entry {index} key {key!r} has type "
+                    f"{type(entry[key]).__name__}"
+                )
+        if isinstance(entry.get("count"), int) and not isinstance(
+            entry.get("count"), bool
+        ):
+            if entry["count"] < 1:
+                problems.append(f"entry {index} count must be >= 1")
+            total_count += max(entry["count"], 0)
+        if isinstance(entry.get("config_id"), str):
+            if entry["config_id"] in config_ids:
+                problems.append(f"entry {index} repeats config {entry['config_id']!r}")
+            config_ids.add(entry["config_id"])
+
+    instances = data.get("num_instances")
+    if not isinstance(instances, int) or isinstance(instances, bool) or instances < 1:
+        problems.append(f"'num_instances' must be a positive integer, got {instances!r}")
+    elif entries and total_count != instances:
+        problems.append(
+            f"entry counts sum to {total_count}, not num_instances={instances}"
+        )
+
+    assignment = data.get("assignment")
+    if not isinstance(assignment, dict):
+        problems.append("'assignment' must be an object (regime -> config_id)")
+    else:
+        for regime, config_id in sorted(assignment.items()):
+            if not isinstance(config_id, str):
+                problems.append(f"assignment for {regime!r} is not a config id string")
+            elif entries and config_id not in config_ids:
+                problems.append(
+                    f"assignment for {regime!r} names unknown config {config_id!r}"
+                )
     return problems

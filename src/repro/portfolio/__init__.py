@@ -1,0 +1,72 @@
+"""Fleet-level portfolio synthesis and config-aware routing.
+
+Archytas (Sec. 7.6) dynamically optimizes one accelerator for one
+robot; this package lifts the idea to datacenter scale: synthesize the
+best *portfolio* of design points for a forecast traffic mix
+(:mod:`spec`, :mod:`solver`), charge partial-reconfiguration swaps in
+virtual time (:mod:`reconfig`), and route each window to the instance
+whose config minimizes marginal completion time (:mod:`router`). The
+serving tier consumes all four through ``LoadProfile(portfolio=...,
+route="marginal")``; ``python -m repro.portfolio`` solves and reports
+standalone. See ``docs/portfolio.md``.
+"""
+
+from repro.portfolio.reconfig import (
+    DEFAULT_RECONFIG_MODEL,
+    PartialReconfigModel,
+    ReconfigCharge,
+    build_portfolio_reconfig_table,
+    reconfig_distance,
+)
+from repro.portfolio.router import (
+    brute_force_choice,
+    choose_instance,
+    drift_candidate,
+)
+from repro.portfolio.solver import (
+    PortfolioEntry,
+    PortfolioSolution,
+    regime_design_spec,
+    solve_portfolio,
+)
+from repro.portfolio.spec import (
+    FORECASTS,
+    PortfolioObjective,
+    PortfolioSpec,
+    RegimeDemand,
+    TrafficForecast,
+    available_forecasts,
+    default_candidates,
+    default_portfolio_spec,
+    forecast,
+    regime_demands,
+    regime_sizing_workload,
+    resolve_forecast,
+)
+
+__all__ = [
+    "DEFAULT_RECONFIG_MODEL",
+    "FORECASTS",
+    "PartialReconfigModel",
+    "PortfolioEntry",
+    "PortfolioObjective",
+    "PortfolioSolution",
+    "PortfolioSpec",
+    "ReconfigCharge",
+    "RegimeDemand",
+    "TrafficForecast",
+    "available_forecasts",
+    "brute_force_choice",
+    "build_portfolio_reconfig_table",
+    "choose_instance",
+    "default_candidates",
+    "default_portfolio_spec",
+    "drift_candidate",
+    "forecast",
+    "reconfig_distance",
+    "regime_demands",
+    "regime_design_spec",
+    "regime_sizing_workload",
+    "resolve_forecast",
+    "solve_portfolio",
+]

@@ -1,0 +1,131 @@
+"""CLI: solve a fleet portfolio for a traffic forecast and report it.
+
+``python -m repro.portfolio mixed --instances 4`` solves the allocation
+and prints the portfolio table; ``--output PORTFOLIO.json`` exports the
+canonical report (schema ``repro.portfolio/v1``), which
+``python -m repro.obs validate`` checks structurally — the same
+export-then-validate contract the serve tier uses.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import replace
+from pathlib import Path
+
+from repro.errors import ConfigurationError, InfeasibleDesignError
+from repro.portfolio.solver import PortfolioSolution, solve_portfolio
+from repro.portfolio.spec import (
+    PortfolioObjective,
+    available_forecasts,
+    default_portfolio_spec,
+    resolve_forecast,
+)
+
+PORTFOLIO_SCHEMA = "repro.portfolio/v1"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.portfolio",
+        description="Solve an accelerator portfolio for a traffic forecast.",
+    )
+    parser.add_argument(
+        "forecast",
+        nargs="?",
+        default="mixed",
+        help="named traffic forecast (see --list)",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list forecasts and exit"
+    )
+    parser.add_argument(
+        "--instances", type=int, default=4, help="fleet instance budget"
+    )
+    parser.add_argument(
+        "--configs",
+        type=int,
+        default=0,
+        help="max distinct configs (0 = solver default)",
+    )
+    parser.add_argument(
+        "--objective",
+        choices=[o.value for o in PortfolioObjective],
+        default=PortfolioObjective.ENERGY.value,
+    )
+    parser.add_argument(
+        "--slo-ms", type=float, default=50.0, help="per-window latency SLO [ms]"
+    )
+    parser.add_argument(
+        "--power-budget",
+        type=float,
+        default=0.0,
+        help="provisioned fleet power cap [W] (0 = unbounded)",
+    )
+    parser.add_argument(
+        "--sessions", type=int, default=0, help="override forecast session count"
+    )
+    parser.add_argument(
+        "--rate", type=float, default=0.0, help="override per-session rate [Hz]"
+    )
+    parser.add_argument("--seed", type=int, default=None, help="override seed")
+    parser.add_argument(
+        "--output", type=Path, default=None, help="write PORTFOLIO.json here"
+    )
+    return parser
+
+
+def portfolio_report(solution: PortfolioSolution) -> dict:
+    """The canonical PORTFOLIO.json payload (validated by repro.obs)."""
+    report = {"schema": PORTFOLIO_SCHEMA, "num_instances": solution.num_instances}
+    report.update(solution.as_dict())
+    return report
+
+
+def export_report(solution: PortfolioSolution, path: Path) -> None:
+    payload = json.dumps(portfolio_report(solution), sort_keys=True, indent=2)
+    path.write_text(payload + "\n")
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list:
+        for name in available_forecasts():
+            print(f"  {name:<16} {resolve_forecast(name).label()}")
+        return 0
+    try:
+        forecast = resolve_forecast(args.forecast)
+        if args.sessions > 0:
+            forecast = replace(forecast, num_sessions=args.sessions)
+        if args.rate > 0:
+            forecast = replace(forecast, rate_hz=args.rate)
+        if args.seed is not None:
+            forecast = replace(forecast, seed=args.seed)
+        spec = default_portfolio_spec(
+            forecast,
+            num_instances=args.instances,
+            max_configs=args.configs,
+            objective=PortfolioObjective(args.objective),
+            latency_slo_s=args.slo_ms / 1e3,
+            power_budget_w=args.power_budget,
+        )
+        solution = solve_portfolio(spec)
+    except (ConfigurationError, InfeasibleDesignError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(solution.render())
+    print(
+        f"  solved in {solution.solve_seconds * 1e3:.1f} ms "
+        f"({solution.evaluated_allocations} allocations, "
+        f"{solution.evaluated_points} design points)"
+    )
+    if args.output is not None:
+        export_report(solution, args.output)
+        print(f"  report written to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,116 @@
+"""Partial-reconfiguration cost model for cross-config instance swaps.
+
+:class:`repro.runtime.reconfig.ReconfigurationTable` models *clock
+gating* inside one static design — free, because no bitstream changes.
+Moving an instance between two *portfolio* configs is different: the
+fabric regions holding the resized blocks must be partially
+reprogrammed, which costs real time (the instance is offline) and
+energy (configuration-port power). The serve event loop charges both in
+virtual time when the router decides an instance should swap.
+
+The model is linear in the "reconfiguration distance" between the two
+configs — the number of customized units that change — mirroring how
+partial-bitstream size scales with the reconfigured region on Zynq-class
+parts (the CICC 2022 follow-up's PCAP numbers motivate the defaults:
+low-millisecond swaps, tens of millijoules).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil
+
+from repro.errors import ConfigurationError
+from repro.hw.config import HardwareConfig
+
+
+@dataclass(frozen=True)
+class ReconfigCharge:
+    """The virtual-time cost of one config swap."""
+
+    seconds: float
+    joules: float
+
+    def __post_init__(self) -> None:
+        if self.seconds < 0 or self.joules < 0:
+            raise ConfigurationError("reconfiguration charges must be >= 0")
+
+
+def reconfig_distance(a: HardwareConfig, b: HardwareConfig) -> int:
+    """Units that must be reprogrammed to turn config ``a`` into ``b``.
+
+    Each MAC in the Schur blocks is one unit; Cholesky Update units are
+    grouped eight to a reconfigurable region (they are far smaller).
+    """
+    return abs(a.nd - b.nd) + abs(a.nm - b.nm) + ceil(abs(a.s - b.s) / 8)
+
+
+@dataclass(frozen=True)
+class PartialReconfigModel:
+    """Linear swap-cost model: base + per-unit time and energy.
+
+    Attributes:
+        base_seconds / base_joules: fixed cost of any swap (bitstream
+            setup, configuration-port handshake).
+        seconds_per_unit / joules_per_unit: marginal cost per
+            reconfigured unit (see :func:`reconfig_distance`).
+        improvement_margin: relative service-time improvement another
+            portfolio config must show, sustained, before the router
+            considers a swap worth its cost.
+    """
+
+    base_seconds: float = 0.002
+    seconds_per_unit: float = 0.0004
+    base_joules: float = 0.02
+    joules_per_unit: float = 0.005
+    improvement_margin: float = 0.05
+
+    def __post_init__(self) -> None:
+        for name, value in (
+            ("base_seconds", self.base_seconds),
+            ("seconds_per_unit", self.seconds_per_unit),
+            ("base_joules", self.base_joules),
+            ("joules_per_unit", self.joules_per_unit),
+        ):
+            if value < 0:
+                raise ConfigurationError(f"{name} must be >= 0, got {value}")
+        if not 0 <= self.improvement_margin < 1:
+            raise ConfigurationError(
+                f"improvement_margin must be in [0, 1), "
+                f"got {self.improvement_margin}"
+            )
+
+    def swap_cost(self, a: HardwareConfig, b: HardwareConfig) -> ReconfigCharge:
+        """Time and energy to swap an instance from ``a`` to ``b``.
+
+        Zero when the configs are equal — swapping to yourself is a
+        no-op, and the serve tier relies on that identity.
+        """
+        if a == b:
+            return ReconfigCharge(0.0, 0.0)
+        units = reconfig_distance(a, b)
+        return ReconfigCharge(
+            seconds=self.base_seconds + self.seconds_per_unit * units,
+            joules=self.base_joules + self.joules_per_unit * units,
+        )
+
+
+DEFAULT_RECONFIG_MODEL = PartialReconfigModel()
+
+
+def build_portfolio_reconfig_table(
+    configs: tuple[HardwareConfig, ...],
+    model: PartialReconfigModel = DEFAULT_RECONFIG_MODEL,
+) -> dict[tuple[str, str], ReconfigCharge]:
+    """Pairwise swap costs for a portfolio, keyed by (from, to) labels.
+
+    The table is symmetric in cost but keyed directionally, mirroring
+    how :class:`~repro.runtime.reconfig.ReconfigurationTable` is indexed
+    at dispatch time.
+    """
+    unique: dict[str, HardwareConfig] = {c.label: c for c in configs}
+    table: dict[tuple[str, str], ReconfigCharge] = {}
+    for src_label, src in sorted(unique.items()):
+        for dst_label, dst in sorted(unique.items()):
+            table[(src_label, dst_label)] = model.swap_cost(src, dst)
+    return table

@@ -1,0 +1,92 @@
+"""Config-aware routing: pick the instance with the least marginal cost.
+
+The FIFO pool dispatcher treats instances as interchangeable — correct
+for a homogeneous fleet, wasteful for a portfolio where a tunnel window
+is cheap on the small config and a loop-closure spike needs the big one.
+The marginal-cost router assigns each window to the instance minimizing
+its *marginal virtual completion time* (queue-ahead plus this window's
+service time on that instance's config), breaking ties toward the
+lower-energy instance and then the lowest index.
+
+All comparisons are exact float comparisons, deliberately without the
+synth tie band: the router must agree bit-for-bit with the brute-force
+oracle (:func:`brute_force_choice`), and the inputs are deterministic
+virtual-time quantities, not independently-derived model scores.
+"""
+
+from __future__ import annotations
+
+from repro.hw.config import HardwareConfig
+
+
+def choose_instance(
+    now: float,
+    free_at: list[float],
+    service_s: list[float],
+    energy_j: list[float],
+) -> int:
+    """The marginal-cost routing decision for one window.
+
+    Args:
+        now: current virtual time (the window is ready).
+        free_at: per-instance time the instance finishes its queue.
+        service_s: per-instance service time of *this* window on that
+            instance's config.
+        energy_j: per-instance energy of this window on that config.
+
+    Returns the index minimizing ``(completion, energy, index)``
+    lexicographically, where ``completion = max(now, free_at) +
+    service_s``.
+    """
+    best = 0
+    best_key = (max(now, free_at[0]) + service_s[0], energy_j[0], 0)
+    for index in range(1, len(free_at)):
+        key = (max(now, free_at[index]) + service_s[index], energy_j[index], index)
+        if key < best_key:
+            best, best_key = index, key
+    return best
+
+
+def brute_force_choice(
+    now: float,
+    free_at: list[float],
+    service_s: list[float],
+    energy_j: list[float],
+) -> int:
+    """Independent oracle for :func:`choose_instance`.
+
+    Materializes every assignment's outcome tuple and sorts — a
+    different code path arriving at the same total order, used by the
+    conformance harness to pin the router exactly.
+    """
+    outcomes = sorted(
+        (max(now, free_at[i]) + service_s[i], energy_j[i], i)
+        for i in range(len(free_at))
+    )
+    return outcomes[0][2]
+
+
+def drift_candidate(
+    current: HardwareConfig,
+    portfolio: tuple[HardwareConfig, ...],
+    service_by_config: dict[str, float],
+    improvement_margin: float,
+) -> HardwareConfig | None:
+    """The portfolio config this batch would rather have run on, if any.
+
+    Compares the batch's total service time on the instance's current
+    config against every other portfolio config; returns the best
+    alternative only when it beats the current config by more than the
+    margin (relative), else ``None``. Deterministic: candidates are
+    scanned in sorted-config order, strict improvement required.
+    """
+    current_s = service_by_config[current.label]
+    best: HardwareConfig | None = None
+    best_s = current_s * (1.0 - improvement_margin)
+    for config in sorted(set(portfolio), key=HardwareConfig.as_tuple):
+        if config == current:
+            continue
+        candidate_s = service_by_config[config.label]
+        if candidate_s < best_s:
+            best, best_s = config, candidate_s
+    return best

@@ -55,6 +55,7 @@ from repro.serve.session import (
 )
 from repro.serve.telemetry import (
     METRICS_SCHEMA_VERSION,
+    ConfigMetrics,
     LatencyHistogram,
     SessionMetrics,
     Telemetry,
@@ -65,6 +66,7 @@ __all__ = [
     "AcceleratorInstance",
     "Admission",
     "BACKENDS",
+    "ConfigMetrics",
     "FIDELITIES",
     "FleetCoordinator",
     "FleetReport",

@@ -55,6 +55,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--seed", type=int, metavar="N", help="override the seed")
     parser.add_argument(
+        "--portfolio",
+        metavar="FORECAST",
+        help="solve a repro.portfolio fleet for this traffic forecast and "
+        "deploy its mixed configs across the instances",
+    )
+    parser.add_argument(
+        "--route",
+        choices=("fifo", "marginal"),
+        help="dispatch policy: FIFO pool (baseline) or config-aware "
+        "marginal-completion-time routing",
+    )
+    parser.add_argument(
+        "--reconfig-after",
+        type=int,
+        metavar="N",
+        help="partially reconfigure an instance after N consecutive "
+        "drifting batches (requires --portfolio; 0 disables)",
+    )
+    parser.add_argument(
         "--shards",
         type=int,
         default=1,
@@ -141,6 +160,9 @@ def _apply_overrides(profile, args):
         "duration_s": args.duration,
         "batch_size": args.batch_size,
         "seed": args.seed,
+        "portfolio": args.portfolio,
+        "route": args.route,
+        "reconfig_after": args.reconfig_after,
     }
     overrides = {k: v for k, v in overrides.items() if v is not None}
     return dataclasses.replace(profile, **overrides) if overrides else profile

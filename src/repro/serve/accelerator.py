@@ -54,10 +54,18 @@ class AcceleratorInstance:
     platform: FpgaPlatform = ZC706
     link: HostLink = field(default_factory=HostLink)
     fidelity: str = "analytical"
+    # The design point this instance currently holds. Homogeneous pools
+    # give every instance the profile's named design; a portfolio fleet
+    # mixes configs, and partial reconfiguration may swap this at
+    # runtime (see reconfigure()).
+    config: HardwareConfig = field(default_factory=HardwareConfig)
     free_at: float = 0.0
     windows_executed: int = 0
     busy_seconds: float = 0.0
     batches: int = 0
+    reconfigurations: int = 0
+    reconfig_seconds: float = 0.0
+    reconfig_joules: float = 0.0
     # SolverPlan cache the functional fidelity solves through. None means
     # the process-wide default cache — the same one the software
     # estimator uses, so serving-tier and estimator windows of identical
@@ -69,6 +77,11 @@ class AcceleratorInstance:
             raise ConfigurationError(
                 f"fidelity must be one of {FIDELITIES}, got {self.fidelity!r}"
             )
+
+    @property
+    def config_id(self) -> str:
+        """Stable telemetry identity of the current design point."""
+        return self.config.label
 
     def charge(
         self,
@@ -112,16 +125,36 @@ class AcceleratorInstance:
         self.windows_executed += 1
         return self.free_at
 
+    def reconfigure(
+        self, config: HardwareConfig, seconds: float, joules: float, start: float
+    ) -> float:
+        """Partially reconfigure to ``config`` starting at ``start``.
+
+        The instance is offline for ``seconds`` of virtual time (counted
+        as busy — the fabric is occupied by the configuration port) and
+        the swap energy is accumulated separately from window energy.
+        Returns the new free-at time.
+        """
+        self.config = config
+        self.reconfigurations += 1
+        self.reconfig_seconds += seconds
+        self.reconfig_joules += joules
+        self.busy_seconds += seconds
+        self.free_at = start + seconds
+        return self.free_at
+
     def utilization(self, horizon_s: float) -> float:
         return self.busy_seconds / horizon_s if horizon_s > 0 else 0.0
 
     def as_dict(self, horizon_s: float) -> dict:
         return {
             "instance_id": self.instance_id,
+            "config_id": self.config_id,
             "windows_executed": self.windows_executed,
             "batches": self.batches,
             "busy_seconds": self.busy_seconds,
             "utilization": self.utilization(horizon_s),
+            "reconfigurations": self.reconfigurations,
         }
 
 
@@ -130,16 +163,30 @@ def make_pool(
     platform: FpgaPlatform = ZC706,
     link: HostLink | None = None,
     fidelity: str = "analytical",
+    configs: list[HardwareConfig] | tuple[HardwareConfig, ...] | None = None,
 ) -> list[AcceleratorInstance]:
-    """A homogeneous pool of ``num_instances`` accelerator instances."""
+    """A pool of ``num_instances`` accelerator instances.
+
+    ``configs`` makes the pool heterogeneous: one
+    :class:`HardwareConfig` per instance, in instance-id order (a solved
+    portfolio's ``instance_configs()`` expansion). Omitted, every
+    instance carries the default config — the homogeneous pool the FIFO
+    baseline uses.
+    """
     if num_instances < 1:
         raise ConfigurationError("need at least one accelerator instance")
+    if configs is not None and len(configs) != num_instances:
+        raise ConfigurationError(
+            f"configs must list one HardwareConfig per instance: got "
+            f"{len(configs)} for {num_instances} instances"
+        )
     return [
         AcceleratorInstance(
             instance_id=i,
             platform=platform,
             link=link or HostLink(),
             fidelity=fidelity,
+            config=configs[i] if configs is not None else HardwareConfig(),
         )
         for i in range(num_instances)
     ]

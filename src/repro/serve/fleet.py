@@ -234,6 +234,22 @@ class FleetReport:
             "serve_deadline_misses_total", "windows completed past deadline"
         ).inc(totals["deadline_misses"])
         registry.counter("serve_errors_total", "solver errors").inc(totals["errors"])
+        registry.counter(
+            "serve_reconfigurations_total", "partial-reconfiguration swaps"
+        ).inc(totals["reconfigurations"])
+        registry.counter(
+            "serve_reconfig_energy_joules_total",
+            "energy spent on partial reconfiguration",
+        ).inc(totals["reconfig_energy_j"])
+        for entry in merged["configs"]:
+            registry.counter(
+                f"serve_config_windows_served_total:{entry['config_id']}",
+                f"windows served on design point {entry['config_id']}",
+            ).inc(entry["windows_served"])
+            registry.counter(
+                f"serve_config_energy_joules_total:{entry['config_id']}",
+                f"window energy on design point {entry['config_id']}",
+            ).inc(entry["energy_j"])
         registry.gauge("serve_num_shards", "shards in the fleet").set(
             merged["fleet"]["num_shards"]
         )
@@ -364,6 +380,36 @@ def merge_shard_metrics(
         for entry in m["instances"]
     ]
 
+    # Per-config counters aggregate by the stable config id: the same
+    # design point on different shards is one fleet-level line, and every
+    # counter (windows, busy time, window energy, reconfig time/energy)
+    # sums exactly — the conservation property tests/test_serve_fleet.py
+    # holds across shard counts.
+    configs: dict[str, dict] = {}
+    for m in shard_metrics:
+        for entry in m.get("configs", []):
+            merged_entry = configs.setdefault(
+                entry["config_id"],
+                {
+                    "config_id": entry["config_id"],
+                    "windows_served": 0,
+                    "busy_seconds": 0.0,
+                    "energy_j": 0.0,
+                    "reconfigurations": 0,
+                    "reconfig_seconds": 0.0,
+                    "reconfig_energy_j": 0.0,
+                },
+            )
+            for key in (
+                "windows_served",
+                "busy_seconds",
+                "energy_j",
+                "reconfigurations",
+                "reconfig_seconds",
+                "reconfig_energy_j",
+            ):
+                merged_entry[key] += entry[key]
+
     first = shard_metrics[0]
     return {
         "schema": METRICS_SCHEMA_VERSION,
@@ -380,6 +426,8 @@ def merge_shard_metrics(
             "makespan_s": makespan,
             "throughput_wps": served / makespan if makespan else 0.0,
             "energy_j": total("energy_j"),
+            "reconfigurations": total("reconfigurations"),
+            "reconfig_energy_j": total("reconfig_energy_j"),
         },
         "latency_ms": merge_histograms("latency_ms"),
         "queue_wait_ms": merge_histograms("queue_wait_ms"),
@@ -399,6 +447,11 @@ def merge_shard_metrics(
             },
         },
         "sessions": sessions,
+        "configs": [configs[cid] for cid in sorted(configs)],
+        # Each shard solves its own instance slice; the fleet-level view
+        # is the merged "configs" list above (and the per-shard solutions
+        # under "shards"), so only the forecast name is lifted here.
+        "portfolio": {"name": first["portfolio"]["name"]},
         "scheduler": {
             "accepted": sum(m["scheduler"]["accepted"] for m in shard_metrics),
             "degraded": sum(m["scheduler"]["degraded"] for m in shard_metrics),

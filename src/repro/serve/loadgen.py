@@ -48,6 +48,15 @@ class LoadProfile:
     batch_size: int = 4  # micro-batch cap per dispatch
     design: str = "High-Perf"  # named Tbl. 2 design backing the pool
     scenario: str = ""  # "" = catalog mix; else a repro.scenarios regime
+    # Fleet-planning knobs (repro.portfolio). portfolio="" keeps the
+    # homogeneous named-design pool; a forecast name solves a portfolio
+    # and deploys its mixed configs across the instances. route picks
+    # the dispatcher: "fifo" (the baseline/oracle) or "marginal"
+    # (config-aware routing by marginal completion time).
+    portfolio: str = ""  # "" = homogeneous pool; else a traffic forecast
+    route: str = "fifo"  # "fifo" | "marginal"
+    portfolio_configs: int = 0  # cap on distinct configs (0 = solver default)
+    reconfig_after: int = 0  # drift batches before a swap (0 = never)
     seed: int = 0
 
     # Validation names the offending field so a bad override in a CLI
@@ -90,6 +99,27 @@ class LoadProfile:
             from repro.scenarios import resolve_scenario
 
             resolve_scenario(self.scenario)  # raises with did-you-mean
+        if self.route not in ("fifo", "marginal"):
+            raise ConfigurationError(
+                f"route must be 'fifo' or 'marginal', got {self.route!r}"
+            )
+        if self.portfolio:
+            from repro.portfolio import resolve_forecast
+
+            resolve_forecast(self.portfolio)  # raises with did-you-mean
+        if self.portfolio_configs < 0:
+            raise ConfigurationError(
+                f"portfolio_configs must be >= 0, got {self.portfolio_configs}"
+            )
+        if self.reconfig_after < 0:
+            raise ConfigurationError(
+                f"reconfig_after must be >= 0, got {self.reconfig_after}"
+            )
+        if self.reconfig_after > 0 and not self.portfolio:
+            raise ConfigurationError(
+                "reconfig_after needs a portfolio: a homogeneous pool has "
+                "nothing to swap to"
+            )
 
 
 # The dataset mix: sessions cycle through the catalog, so a fleet larger
@@ -241,6 +271,23 @@ PROFILES: dict[str, LoadProfile] = {
         duration_s=4.0,
         sequence_duration_s=3.0,
         scenario="aggressive",
+    ),
+    # The portfolio profile: the solved "mixed" forecast deploys a
+    # heterogeneous pool and the marginal-cost router steers each window
+    # to the cheapest instance. CI's portfolio-smoke job runs this on 2
+    # shards; bench_portfolio.py uses a tuned variant of the same shape.
+    "portfolio-mixed": _profile(
+        "portfolio-mixed",
+        "8 robots over the mixed degenerate regimes on a 4-instance "
+        "portfolio fleet with config-aware routing",
+        num_sessions=8,
+        num_instances=4,
+        rate_hz=4.0,
+        duration_s=6.0,
+        sequence_duration_s=3.0,
+        scenario="mixed",
+        portfolio="mixed",
+        route="marginal",
     ),
     "scenario-highway": _profile(
         "scenario-highway",

@@ -36,7 +36,10 @@ from pathlib import Path
 
 from repro.engine import SEQUENCE, design_reconfiguration, get_engine, named_design
 from repro.errors import ConfigurationError, ServeError
+from repro.hw.latency import window_latency_seconds
+from repro.hw.power import DEFAULT_POWER_MODEL
 from repro.obs.tracer import CLOCK_VIRTUAL, Trace
+from repro.portfolio.router import choose_instance, drift_candidate
 from repro.runtime.controller import RuntimeController
 from repro.runtime.profiler import IterationTable
 from repro.serve.accelerator import AcceleratorInstance, make_pool
@@ -192,6 +195,44 @@ class LocalizationService:
         self.static_config = design.config
         self.reconfig = reconfig
 
+        # Fleet planning: a portfolio profile solves the config mix for
+        # its traffic forecast and deploys it across the pool; otherwise
+        # every instance carries the named design's config. The solve is
+        # pure (spec + seed -> solution), so shard runs and repeats
+        # deploy byte-identical fleets.
+        self.portfolio_solution = None
+        pool_configs = [design.config] * profile.num_instances
+        if profile.portfolio:
+            from dataclasses import replace as dc_replace
+
+            from repro.portfolio import (
+                DEFAULT_RECONFIG_MODEL,
+                default_portfolio_spec,
+                resolve_forecast,
+                solve_portfolio,
+            )
+
+            forecast = dc_replace(
+                resolve_forecast(profile.portfolio),
+                num_sessions=profile.num_sessions,
+                rate_hz=profile.rate_hz,
+                seed=profile.seed,
+            )
+            self.portfolio_solution = solve_portfolio(
+                default_portfolio_spec(
+                    forecast,
+                    num_instances=profile.num_instances,
+                    max_configs=profile.portfolio_configs,
+                )
+            )
+            pool_configs = list(self.portfolio_solution.instance_configs())
+            self.swap_model = DEFAULT_RECONFIG_MODEL
+            self.portfolio_configs = tuple(
+                sorted(set(pool_configs), key=lambda c: c.as_tuple())
+            )
+        self._pool_configs = pool_configs
+        self._drift_counts: dict[int, int] = {}
+
         self.sessions: dict[int, Session] = {}
         for sid in self.session_ids:
             sequence = self.engine.run(
@@ -206,7 +247,7 @@ class LocalizationService:
             )
 
         self.pool: list[AcceleratorInstance] = make_pool(
-            profile.num_instances, fidelity=self.fidelity
+            profile.num_instances, fidelity=self.fidelity, configs=pool_configs
         )
         self.scheduler = Scheduler(
             max_queue=profile.max_queue,
@@ -386,6 +427,12 @@ class LocalizationService:
     # ------------------------------------------------------------------
 
     def _dispatch(self, t: float) -> None:
+        if self.profile.route == "marginal":
+            self._dispatch_marginal(t)
+        else:
+            self._dispatch_fifo(t)
+
+    def _dispatch_fifo(self, t: float) -> None:
         assignments: list[tuple[AcceleratorInstance, list[WindowRequest]]] = []
         for instance in self.pool:
             if instance.free_at > t or len(self.scheduler) == 0:
@@ -417,16 +464,24 @@ class LocalizationService:
                     session.on_complete()
                     session.maybe_drain()
                     continue
+                # A portfolio pool is heterogeneous: windows run on the
+                # instance's own deployed config at that config's power,
+                # exactly as the marginal route accounts them. The
+                # homogeneous pool keeps the runtime-reconfiguration
+                # tier's request-level config and gated power.
+                portfolio = self.portfolio_solution is not None
                 charge = instance.charge(
                     outcome.stats,
-                    request.config,
+                    instance.config if portfolio else request.config,
                     request.iterations,
                     request.reconfigured,
                     problem=session.last_problem,
                 )
                 completion = cursor + charge.total_s
-                energy = charge.compute_s * self.reconfig.gated_power(
-                    request.iterations
+                energy = charge.compute_s * (
+                    DEFAULT_POWER_MODEL.power(instance.config)
+                    if portfolio
+                    else self.reconfig.gated_power(request.iterations)
                 )
                 self.trace.add_span(
                     "queue_wait",
@@ -473,6 +528,8 @@ class LocalizationService:
                     reconfigured=request.reconfigured,
                     energy_j=energy,
                     drift_m=outcome.newest_position_error,
+                    config_id=instance.config_id,
+                    service_s=charge.total_s,
                 )
                 instance.occupy(cursor, charge.total_s)
                 cursor = completion
@@ -487,6 +544,182 @@ class LocalizationService:
                     occupancy=len(batch),
                 )
                 self._push_event(cursor, _FREE, instance.instance_id)
+
+    def _dispatch_marginal(self, t: float) -> None:
+        """Config-aware dispatch: route each window to the instance that
+        minimizes its marginal virtual completion time.
+
+        One fleet-wide EDF slice (``batch_size`` per free instance) is
+        drained per dispatch; every window is then assigned — in EDF
+        order, so routing is a total order — to the free instance whose
+        queue-ahead plus service time on *that instance's config* is
+        smallest, with an energy tiebreak (:func:`choose_instance`,
+        pinned against a brute-force oracle by the conformance harness).
+        """
+        free = [inst for inst in self.pool if inst.free_at <= t]
+        if not free or len(self.scheduler) == 0:
+            return
+        requests = self.scheduler.next_requests(
+            self.profile.batch_size * len(free)
+        )
+        if not requests:
+            return
+        self.telemetry.sample_queue_depth(t, len(self.scheduler))
+
+        # As in FIFO dispatch: all numerics run concurrently in wall
+        # time, and virtual-time accounting consumes them in EDF order.
+        # Routing happens after execution because the service time
+        # depends on the executed window's stats — which are themselves
+        # backend-invariant, so the routing decisions are too.
+        results = self._backend.run_jobs(list(requests))
+        result_by_seq = {outcome.seq: outcome for outcome in results}
+
+        cursors = {inst.instance_id: t for inst in free}
+        batches: dict[int, list] = {inst.instance_id: [] for inst in free}
+        for request in requests:
+            session = self.sessions[request.session_id]
+            metrics = self.telemetry.session(session.session_id)
+            outcome = result_by_seq[request.seq]
+            if not outcome.ok:
+                self.telemetry.errors += 1
+                session.on_complete()
+                session.maybe_drain()
+                continue
+            charges = [
+                inst.charge(
+                    outcome.stats,
+                    inst.config,
+                    request.iterations,
+                    request.reconfigured,
+                    problem=session.last_problem,
+                )
+                for inst in free
+            ]
+            energies = [
+                charge.compute_s * DEFAULT_POWER_MODEL.power(inst.config)
+                for inst, charge in zip(free, charges)
+            ]
+            pick = choose_instance(
+                t,
+                [cursors[inst.instance_id] for inst in free],
+                [charge.total_s for charge in charges],
+                energies,
+            )
+            instance, charge, energy = free[pick], charges[pick], energies[pick]
+            cursor = cursors[instance.instance_id]
+            completion = cursor + charge.total_s
+            self.trace.add_span(
+                "queue_wait",
+                category="serve",
+                start_s=request.ready_time,
+                duration_s=t - request.ready_time,
+                depth=1,
+                session=request.session_id,
+                frame=request.frame_id,
+            )
+            self.trace.add_span(
+                "service",
+                category="serve",
+                start_s=cursor,
+                duration_s=charge.total_s,
+                depth=1,
+                session=request.session_id,
+                frame=request.frame_id,
+                iterations=request.iterations,
+                degraded=request.degraded,
+                instance=instance.instance_id,
+                config=instance.config_id,
+            )
+            self.telemetry.record_window(
+                metrics,
+                ready_time=request.ready_time,
+                dispatch_time=t,
+                completion_time=completion,
+                deadline=request.deadline,
+                iterations=request.iterations,
+                degraded=request.degraded,
+                reconfigured=request.reconfigured,
+                energy_j=energy,
+                drift_m=outcome.newest_position_error,
+                config_id=instance.config_id,
+                service_s=charge.total_s,
+            )
+            instance.occupy(cursor, charge.total_s)
+            cursors[instance.instance_id] = completion
+            batches[instance.instance_id].append((request, outcome))
+            self._push_event(completion, _COMPLETE, session.session_id)
+
+        for instance in free:
+            batch = batches[instance.instance_id]
+            if not batch:
+                continue
+            self.telemetry.record_batch(len(batch))
+            instance.batches += 1
+            self.trace.add_span(
+                "batch",
+                category="serve",
+                start_s=t,
+                duration_s=cursors[instance.instance_id] - t,
+                instance=instance.instance_id,
+                occupancy=len(batch),
+            )
+            self._maybe_reconfigure(instance, batch)
+            self._push_event(instance.free_at, _FREE, instance.instance_id)
+
+    def _maybe_reconfigure(self, instance: AcceleratorInstance, batch) -> None:
+        """Between-batch partial reconfiguration on sustained drift.
+
+        After ``reconfig_after`` consecutive batches that another
+        portfolio config would have served faster (by more than the swap
+        model's margin), the instance swaps to that config, paying the
+        model's virtual time and energy while offline.
+        """
+        profile = self.profile
+        if (
+            self.portfolio_solution is None
+            or profile.reconfig_after < 1
+            or len(self.portfolio_configs) < 2
+        ):
+            return
+        service_by_config = {
+            config.label: sum(
+                window_latency_seconds(
+                    outcome.stats, config, request.iterations, instance.platform
+                )
+                for request, outcome in batch
+            )
+            for config in self.portfolio_configs
+        }
+        target = drift_candidate(
+            instance.config,
+            self.portfolio_configs,
+            service_by_config,
+            self.swap_model.improvement_margin,
+        )
+        if target is None:
+            self._drift_counts[instance.instance_id] = 0
+            return
+        count = self._drift_counts.get(instance.instance_id, 0) + 1
+        if count < profile.reconfig_after:
+            self._drift_counts[instance.instance_id] = count
+            return
+        self._drift_counts[instance.instance_id] = 0
+        swap = self.swap_model.swap_cost(instance.config, target)
+        start = instance.free_at
+        previous = instance.config_id
+        instance.reconfigure(target, swap.seconds, swap.joules, start)
+        self.telemetry.record_reconfig(
+            instance.config_id, swap.seconds, swap.joules
+        )
+        self.trace.add_span(
+            "partial_reconfig",
+            category="serve",
+            start_s=start,
+            duration_s=swap.seconds,
+            instance=instance.instance_id,
+            from_config=previous,
+            to_config=instance.config_id,
+        )
 
     # ------------------------------------------------------------------
     # Metrics assembly
@@ -508,6 +741,14 @@ class LocalizationService:
             "nm": self.static_config.nm,
             "s": self.static_config.s,
         }
+        # The solved fleet portfolio (empty name = homogeneous pool).
+        # PortfolioSolution.as_dict() holds no timing fields, so this
+        # stays byte-identical across repeats and backends.
+        metrics["portfolio"] = (
+            self.portfolio_solution.as_dict()
+            if self.portfolio_solution is not None
+            else {"name": ""}
+        )
         # Which slice of the fleet this run served. Deliberately free of
         # backend/worker facts: the same shard must export byte-identical
         # metrics under the thread oracle and the process backend.

@@ -22,6 +22,7 @@ from repro.obs.metrics import LatencyHistogram, MetricsRegistry
 METRICS_SCHEMA_VERSION = 1
 
 __all__ = [
+    "ConfigMetrics",
     "LatencyHistogram",
     "METRICS_SCHEMA_VERSION",
     "SessionMetrics",
@@ -67,6 +68,35 @@ class SessionMetrics:
         }
 
 
+@dataclass
+class ConfigMetrics:
+    """Per-design-point accounting across the (possibly mixed) pool.
+
+    Keyed by the stable ``HardwareConfig.label`` config id, so the same
+    design point aggregates across instances — and, through
+    :func:`repro.serve.fleet.merge_shard_metrics`, across shards.
+    """
+
+    config_id: str
+    windows_served: int = 0
+    busy_seconds: float = 0.0
+    energy_j: float = 0.0
+    reconfigurations: int = 0
+    reconfig_seconds: float = 0.0
+    reconfig_energy_j: float = 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "config_id": self.config_id,
+            "windows_served": self.windows_served,
+            "busy_seconds": self.busy_seconds,
+            "energy_j": self.energy_j,
+            "reconfigurations": self.reconfigurations,
+            "reconfig_seconds": self.reconfig_seconds,
+            "reconfig_energy_j": self.reconfig_energy_j,
+        }
+
+
 class Telemetry:
     """All counters and gauges of one serve run."""
 
@@ -81,6 +111,9 @@ class Telemetry:
         self.deadline_misses = 0
         self.errors = 0
         self.sessions: dict[int, SessionMetrics] = {}
+        self.configs: dict[str, ConfigMetrics] = {}
+        self.reconfigurations = 0
+        self.reconfig_energy_j = 0.0
         # Time-weighted queue-depth integral plus the exact maximum.
         self.queue_depth_max = 0
         self._depth_integral = 0.0
@@ -95,6 +128,21 @@ class Telemetry:
                 session_id=session_id, sequence=sequence
             )
         return metrics
+
+    def config(self, config_id: str) -> ConfigMetrics:
+        metrics = self.configs.get(config_id)
+        if metrics is None:
+            metrics = self.configs[config_id] = ConfigMetrics(config_id=config_id)
+        return metrics
+
+    def record_reconfig(self, config_id: str, seconds: float, joules: float) -> None:
+        """One partial-reconfiguration swap, charged to the *new* config."""
+        metrics = self.config(config_id)
+        metrics.reconfigurations += 1
+        metrics.reconfig_seconds += seconds
+        metrics.reconfig_energy_j += joules
+        self.reconfigurations += 1
+        self.reconfig_energy_j += joules
 
     def sample_queue_depth(self, t: float, depth: int) -> None:
         """Record a queue-depth change at virtual time ``t``."""
@@ -119,6 +167,8 @@ class Telemetry:
         reconfigured: bool,
         energy_j: float,
         drift_m: float,
+        config_id: str = "",
+        service_s: float = 0.0,
     ) -> None:
         self.latency.record(completion_time - ready_time)
         self.queue_wait.record(dispatch_time - ready_time)
@@ -128,6 +178,11 @@ class Telemetry:
         session.iterations_total += iterations
         session.energy_j += energy_j
         session.record_drift(drift_m)
+        if config_id:
+            config = self.config(config_id)
+            config.windows_served += 1
+            config.busy_seconds += service_s
+            config.energy_j += energy_j
         if degraded:
             self.windows_degraded += 1
             session.windows_degraded += 1
@@ -181,6 +236,23 @@ class Telemetry:
         registry.gauge("serve_makespan_seconds", "virtual makespan").set(
             self.end_time_s
         )
+        registry.counter(
+            "serve_reconfigurations_total", "partial-reconfiguration swaps"
+        ).inc(self.reconfigurations)
+        registry.counter(
+            "serve_reconfig_energy_joules_total",
+            "energy spent on partial reconfiguration",
+        ).inc(self.reconfig_energy_j)
+        for config_id in sorted(self.configs):
+            config = self.configs[config_id]
+            registry.counter(
+                f"serve_config_windows_served_total:{config_id}",
+                f"windows served on design point {config_id}",
+            ).inc(config.windows_served)
+            registry.counter(
+                f"serve_config_energy_joules_total:{config_id}",
+                f"window energy on design point {config_id}",
+            ).inc(config.energy_j)
         registry.register_histogram("serve_latency_seconds", self.latency)
         registry.register_histogram("serve_queue_wait_seconds", self.queue_wait)
         registry.register_histogram("serve_service_seconds", self.service)
@@ -205,6 +277,8 @@ class Telemetry:
                     self.windows_served / self.end_time_s if self.end_time_s else 0.0
                 ),
                 "energy_j": sum(s.energy_j for s in self.sessions.values()),
+                "reconfigurations": self.reconfigurations,
+                "reconfig_energy_j": self.reconfig_energy_j,
             },
             "latency_ms": self.latency.as_dict(),
             "queue_wait_ms": self.queue_wait.as_dict(),
@@ -223,6 +297,9 @@ class Telemetry:
             },
             "sessions": [
                 self.sessions[sid].as_dict() for sid in sorted(self.sessions)
+            ],
+            "configs": [
+                self.configs[cid].as_dict() for cid in sorted(self.configs)
             ],
         }
 

@@ -175,6 +175,58 @@ def design_specs(
 
 
 # ----------------------------------------------------------------------
+# Portfolio forecasts and specs
+# ----------------------------------------------------------------------
+
+def traffic_forecasts(
+    max_components: int = 3,
+) -> st.SearchStrategy:
+    """Randomized traffic forecasts over the named scenarios.
+
+    Component weights draw from a wide positive range so the
+    normalization property (weights sum to 1 after
+    :meth:`~repro.portfolio.TrafficForecast.normalized_weights`) is
+    exercised far from the already-normalized fixed point.
+    """
+    from repro.portfolio import forecast
+
+    scenario_names = tuple(REGIMES) + ("mixed",)
+    components = st.dictionaries(
+        st.sampled_from(scenario_names),
+        st.floats(min_value=0.05, max_value=20.0),
+        min_size=1,
+        max_size=max_components,
+    )
+    return st.builds(
+        forecast,
+        components,
+        name=st.just("prop"),
+        num_sessions=st.integers(min_value=1, max_value=16),
+        rate_hz=st.floats(min_value=0.5, max_value=20.0),
+        seed=seeds(),
+    )
+
+
+def portfolio_specs(
+    max_instances: int = 4,
+) -> st.SearchStrategy:
+    """Randomized solvable portfolio specs (small, CI-sized fleets)."""
+    from repro.portfolio import PortfolioObjective, PortfolioSpec, default_candidates
+
+    return st.builds(
+        PortfolioSpec,
+        forecast=traffic_forecasts(),
+        candidates=st.just(default_candidates()),
+        num_instances=st.integers(min_value=1, max_value=max_instances),
+        max_configs=st.integers(min_value=1, max_value=max_instances),
+        objective=st.sampled_from(PortfolioObjective),
+        latency_slo_s=st.floats(min_value=0.02, max_value=0.2),
+        sizing_windows=st.just(8),
+        max_features=st.just(120),
+    )
+
+
+# ----------------------------------------------------------------------
 # Trajectories / sequences
 # ----------------------------------------------------------------------
 

@@ -354,6 +354,48 @@ class TestHardRegimeFleet:
         )
         assert arrivals_one == arrivals_two
 
+    @pytest.mark.parametrize("num_shards", [1, 2, 3])
+    def test_shard_count_conserves_per_config_counters(self, num_shards):
+        """Per-config energy and window counts survive the shard merge.
+
+        Each shard solves its own portfolio over its own instance slice,
+        so resharding may change *which* configs serve *which* windows —
+        but the merged per-config section must equal the exact per-shard
+        sums, config by config (the regression fixed alongside the
+        portfolio tier: merge used to drop the config breakout)."""
+        profile = fleet_profile(
+            num_sessions=8,
+            num_instances=4,
+            duration_s=2.0,
+            scenario="mixed",
+            portfolio="mixed",
+            route="marginal",
+            seed=0,
+        )
+        report = run_fleet(profile, num_shards)
+        live = [r for r in report.shard_reports if r is not None]
+        expected: dict[str, dict[str, float]] = {}
+        for shard in live:
+            for config in shard.metrics["configs"]:
+                into = expected.setdefault(
+                    config["config_id"],
+                    {k: 0 for k in config if k != "config_id"},
+                )
+                for key, value in config.items():
+                    if key != "config_id":
+                        into[key] += value
+        merged = {c["config_id"]: c for c in report.metrics["configs"]}
+        assert sorted(merged) == sorted(expected)
+        for config_id, sums in expected.items():
+            for key, value in sums.items():
+                assert merged[config_id][key] == value, (config_id, key)
+        assert sum(
+            c["windows_served"] for c in report.metrics["configs"]
+        ) == report.metrics["totals"]["windows_served"]
+        assert report.metrics["totals"]["energy_j"] == pytest.approx(
+            sum(c["energy_j"] for c in report.metrics["configs"]), rel=1e-12
+        )
+
     @pytest.mark.parametrize("regime", ["tunnel", "loop_closure"])
     def test_hard_regimes_exercise_the_shed_paths(self, regime):
         # One shard: splitting the fleet gives every shard its own
