@@ -155,6 +155,62 @@ def bench_shard_scaling(profile: LoadProfile) -> dict:
     }
 
 
+def bench_policy(policy_path: str) -> dict:
+    """Learned-policy vs counter-baseline energy/drift on the eval profiles.
+
+    Virtual-time metrics, so every number is deterministic given the
+    frozen artifact — a changed ``policy_energy_saving`` means the
+    artifact or the serving tier changed, never the machine.
+    """
+    from repro.runtime.policy import ControllerPolicy
+    from repro.serve import resolve_profile
+
+    frozen = ControllerPolicy.load(policy_path)
+    entries = []
+    for name in ("smoke", "steady", "overload"):
+        profile = resolve_profile(name)
+        engine = Engine(use_disk=False)
+        base = LocalizationService(profile, engine=engine).run().metrics
+        learned = (
+            LocalizationService(
+                dataclasses.replace(profile, policy=str(policy_path)),
+                engine=engine,
+            )
+            .run()
+            .metrics
+        )
+        base_e = base["totals"]["energy_j"]
+        learned_e = learned["totals"]["energy_j"]
+
+        def mean_drift(metrics: dict) -> float:
+            served = sum(s["windows_served"] for s in metrics["sessions"])
+            weighted = sum(
+                s["mean_drift_m"] * s["windows_served"]
+                for s in metrics["sessions"]
+            )
+            return weighted / served if served else 0.0
+
+        entries.append(
+            {
+                "profile": name,
+                "baseline_energy_j": base_e,
+                "policy_energy_j": learned_e,
+                "energy_saving": 1.0 - learned_e / base_e if base_e else 0.0,
+                "baseline_drift_m": mean_drift(base),
+                "policy_drift_m": mean_drift(learned),
+                "baseline_deadline_misses": base["totals"]["deadline_misses"],
+                "policy_deadline_misses": learned["totals"]["deadline_misses"],
+            }
+        )
+    return {
+        "artifact": str(policy_path),
+        "digest": frozen.digest,
+        "profiles": entries,
+        "mean_energy_saving": sum(e["energy_saving"] for e in entries)
+        / len(entries),
+    }
+
+
 def run_benchmark(args: argparse.Namespace) -> dict:
     profile = base_profile(args)
     pools = [bench_pool(profile, n) for n in (1, 2, 4)]
@@ -174,6 +230,7 @@ def run_benchmark(args: argparse.Namespace) -> dict:
         "scaling_1_to_2": by_size[2]["throughput_wps"] / base if base else 0.0,
         "scaling_1_to_4": by_size[4]["throughput_wps"] / base if base else 0.0,
         "shards": None if args.skip_shards else bench_shard_scaling(profile),
+        "policy": bench_policy(args.policy) if args.policy else None,
     }
 
 
@@ -201,6 +258,13 @@ def main() -> int:
         "--skip-shards",
         action="store_true",
         help="skip the shard/process scaling section (pool scaling only)",
+    )
+    parser.add_argument(
+        "--policy",
+        default=None,
+        metavar="ARTIFACT",
+        help="also benchmark this frozen POLICY.json against the counter "
+        "baseline on the eval profiles (energy/drift per profile)",
     )
     parser.add_argument(
         "--min-scaling",
@@ -252,6 +316,21 @@ def main() -> int:
             f"1->2: {shards['wall_scaling_1_to_2']:.2f}x   "
             f"1->4: {shards['wall_scaling_1_to_4']:.2f}x   "
             f"virtual metrics invariant: {shards['virtual_invariant']}"
+        )
+    policy = report["policy"]
+    if policy is not None:
+        for entry in policy["profiles"]:
+            print(
+                f"policy {entry['profile']:<9}: energy "
+                f"{entry['baseline_energy_j']:.4f} -> "
+                f"{entry['policy_energy_j']:.4f} J "
+                f"({entry['energy_saving']:+.1%})  drift "
+                f"{entry['baseline_drift_m']:.6f} -> "
+                f"{entry['policy_drift_m']:.6f} m"
+            )
+        print(
+            f"policy mean energy saving: {policy['mean_energy_saving']:+.1%} "
+            f"(digest {policy['digest'][:12]})"
         )
     print(f"report -> {args.output}")
 

@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Non-gating learned-policy energy-saving regression check.
+
+Compares the ``policy`` section of a freshly measured ``BENCH_serve.json``
+(produced with ``bench_serve.py --policy POLICY.json``) against the
+committed baseline and emits a GitHub Actions ``::warning::``
+annotation — *not* a failure — when the mean energy saving of the
+learned controller over the counter baseline shrank by more than the
+threshold (absolute percentage points). The numbers are virtual-time
+and deterministic, so any change is a behaviour change; the gating
+check on domination itself lives in ``python -m repro.testing
+--policy-eval`` — this annotation just makes *how much* headroom moved
+loud in the PR checks.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/check_policy_regression.py \
+        --baseline BENCH_serve.baseline.json \
+        --current BENCH_serve.json \
+        [--threshold 0.02]
+
+Always exits 0 unless an input file is missing or malformed (exit 2).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", type=Path, required=True)
+    parser.add_argument("--current", type=Path, required=True)
+    parser.add_argument(
+        "--threshold", type=float, default=0.02,
+        help="absolute drop in mean energy saving that triggers the "
+        "warning (0.02 = 2 percentage points)",
+    )
+    args = parser.parse_args()
+
+    try:
+        baseline = json.loads(args.baseline.read_text()).get("policy")
+        current = json.loads(args.current.read_text()).get("policy")
+    except (OSError, ValueError) as error:
+        print(f"::error::policy regression check could not read inputs: {error}")
+        return 2
+
+    if not baseline or not current:
+        print(
+            "::warning::one of the reports has no policy section "
+            "(run bench_serve.py --policy POLICY.json) — skipping comparison"
+        )
+        return 0
+
+    base_saving = float(baseline["mean_energy_saving"])
+    cur_saving = float(current["mean_energy_saving"])
+    drop = base_saving - cur_saving
+    summary = (
+        f"learned-policy mean energy saving: baseline {base_saving:+.1%}, "
+        f"current {cur_saving:+.1%} "
+        f"(digest {baseline['digest'][:12]} -> {current['digest'][:12]})"
+    )
+    if drop > args.threshold:
+        print(
+            f"::warning title=policy energy-saving regression::{summary} — "
+            f"saving shrank by {drop:.1%}, over the {args.threshold:.0%} budget"
+        )
+    else:
+        print(summary)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

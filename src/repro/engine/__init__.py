@@ -31,12 +31,14 @@ from repro.engine.keys import artifact_key, config_token
 from repro.engine.stage import Stage
 from repro.engine.stages import (
     ESTIMATOR,
+    POLICY,
     REPLAY,
     SEQUENCE,
     SYNTHESIS,
     TRACE,
     EstimatorRequest,
     PolicySpec,
+    PolicyStage,
     ReplayRequest,
     SequenceStage,
     SynthesisStage,
@@ -63,8 +65,10 @@ __all__ = [
     "TRACE",
     "SYNTHESIS",
     "REPLAY",
+    "POLICY",
     "EstimatorRequest",
     "PolicySpec",
+    "PolicyStage",
     "ReplayRequest",
     "SequenceStage",
     "SynthesisStage",

@@ -254,6 +254,27 @@ class SynthesisStage(Stage):
         return codecs.decode_synthesis(arrays, meta)
 
 
+class PolicyStage(Stage):
+    name = "runtime-policy"
+    version = "1"
+
+    def compute(self, config, engine):
+        # Lazy: training replays serve profiles, and repro.serve imports
+        # this module (same cycle-break as the portfolio solve).
+        from repro.runtime.policy import train_controller_policy
+
+        return train_controller_policy(config, engine)
+
+    def encode(self, payload):
+        return {}, payload.to_dict()
+
+    def decode(self, arrays, meta):
+        del arrays
+        from repro.runtime.policy import ControllerPolicy
+
+        return ControllerPolicy.from_dict(meta)
+
+
 class ReplayStage(Stage):
     name = "runtime-replay"
     # v2: consumes estimator-run v2 outputs (batched backend numerics).
@@ -280,6 +301,7 @@ ESTIMATOR = EstimatorStage()
 TRACE = TraceStage()
 SYNTHESIS = SynthesisStage()
 REPLAY = ReplayStage()
+POLICY = PolicyStage()
 
 
 # ----------------------------------------------------------------------

@@ -22,8 +22,12 @@ from pathlib import Path
 from repro.obs.report import render_rollup
 from repro.obs.tracer import Trace, validate_chrome_trace
 from repro.obs.validate import (
+    POLICY_EVAL_SCHEMA_PREFIX,
+    POLICY_SCHEMA_PREFIX,
     PORTFOLIO_SCHEMA_PREFIX,
     SCENARIO_SCHEMA_PREFIX,
+    validate_policy_artifact,
+    validate_policy_eval,
     validate_portfolio_report,
     validate_scenario_report,
 )
@@ -96,6 +100,34 @@ def main(argv: list[str] | None = None) -> int:
         entries = len(data["entries"])
         verdict = "SLO-MET" if data["slo_met"] else "SLO-MISSED"
         print(f"{path.name}: valid portfolio report ({entries} configs, {verdict})")
+        return 0
+    if isinstance(data, dict) and str(data.get("schema", "")).startswith(
+        POLICY_EVAL_SCHEMA_PREFIX
+    ):
+        problems = validate_policy_eval(data)
+        if problems:
+            for problem in problems:
+                print(f"invalid: {problem}", file=sys.stderr)
+            return 1
+        profiles = len(data["profiles"])
+        verdict = "DOMINATES" if data["passed"] else "FAIL"
+        print(
+            f"{path.name}: valid policy-eval report ({profiles} profiles, {verdict})"
+        )
+        return 0
+    if isinstance(data, dict) and str(data.get("schema", "")).startswith(
+        POLICY_SCHEMA_PREFIX
+    ):
+        problems = validate_policy_artifact(data)
+        if problems:
+            for problem in problems:
+                print(f"invalid: {problem}", file=sys.stderr)
+            return 1
+        caps = len(data["caps"])
+        print(
+            f"{path.name}: valid policy artifact ({caps} caps, "
+            f"digest {data['digest'][:12]})"
+        )
         return 0
     problems = validate_chrome_trace(data)
     if problems:

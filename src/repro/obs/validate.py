@@ -11,6 +11,8 @@ from __future__ import annotations
 
 SCENARIO_SCHEMA_PREFIX = "repro.scenarios/"
 PORTFOLIO_SCHEMA_PREFIX = "repro.portfolio/"
+POLICY_SCHEMA_PREFIX = "repro.policy/"
+POLICY_EVAL_SCHEMA_PREFIX = "repro.policy-eval/"
 
 _CELL_KEYS = {
     "oracle": str,
@@ -194,4 +196,167 @@ def validate_portfolio_report(data: object) -> list[str]:
                 problems.append(
                     f"assignment for {regime!r} names unknown config {config_id!r}"
                 )
+    return problems
+
+
+def _is_number(value: object) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def validate_policy_artifact(data: object) -> list[str]:
+    """All schema problems of one frozen ``POLICY.json`` (empty = valid).
+
+    Pure-structure checks plus the digest recomputation: the artifact is
+    content-addressed, so a hand-edited weight fails loudly here before
+    a serve run would silently produce different decisions.
+    """
+    problems: list[str] = []
+    if not isinstance(data, dict):
+        return [f"artifact must be a JSON object, got {type(data).__name__}"]
+    schema = data.get("schema")
+    if not isinstance(schema, str) or not schema.startswith(POLICY_SCHEMA_PREFIX):
+        problems.append(
+            f"schema must be a string starting with {POLICY_SCHEMA_PREFIX!r}, "
+            f"got {schema!r}"
+        )
+    if not isinstance(data.get("name"), str) or not data.get("name"):
+        problems.append("missing non-empty string 'name'")
+
+    caps = data.get("caps")
+    if (
+        not isinstance(caps, list)
+        or not caps
+        or any(not isinstance(c, int) or isinstance(c, bool) for c in caps)
+    ):
+        problems.append("'caps' must be a non-empty list of integers")
+        caps = []
+    elif caps != sorted(set(caps)) or caps[0] < 1:
+        problems.append(f"'caps' must be strictly increasing and >= 1, got {caps}")
+
+    heads = data.get("error_heads")
+    if not isinstance(heads, list) or (caps and len(heads) != len(caps)):
+        problems.append(
+            f"'error_heads' must list one head per cap "
+            f"({len(caps)} caps, got "
+            f"{len(heads) if isinstance(heads, list) else type(heads).__name__})"
+        )
+        heads = []
+    widths = set()
+    for index, head in enumerate(heads):
+        if not isinstance(head, list) or not head or not all(
+            _is_number(w) for w in head
+        ):
+            problems.append(f"error head {index} is not a list of numbers")
+        else:
+            widths.add(len(head))
+    if len(widths) > 1:
+        problems.append(f"error heads disagree on feature width: {sorted(widths)}")
+
+    actions = data.get("admission_actions")
+    admission = data.get("admission_heads")
+    if actions != ["accept", "degrade", "shed"]:
+        problems.append(
+            f"'admission_actions' must be ['accept', 'degrade', 'shed'], "
+            f"got {actions!r}"
+        )
+    if not isinstance(admission, list) or len(admission) != 3:
+        problems.append("'admission_heads' must list exactly 3 heads")
+    else:
+        for index, head in enumerate(admission):
+            if not isinstance(head, list) or not head or not all(
+                _is_number(w) for w in head
+            ):
+                problems.append(f"admission head {index} is not a list of numbers")
+
+    if not _is_number(data.get("energy_weight")) or data["energy_weight"] < 0:
+        problems.append("'energy_weight' must be a non-negative number")
+    alpha = data.get("drift_alpha")
+    if not _is_number(alpha) or not 0.0 < alpha <= 1.0:
+        problems.append(f"'drift_alpha' must lie in (0, 1], got {alpha!r}")
+    if not isinstance(data.get("trained_on"), list):
+        problems.append("'trained_on' must be a list of profile names")
+
+    digest = data.get("digest")
+    if not isinstance(digest, str) or len(digest) != 64:
+        problems.append("'digest' must be a 64-hex-char sha256 string")
+    else:
+        import hashlib
+        import json as _json
+
+        body = {key: value for key, value in data.items() if key != "digest"}
+        canonical = _json.dumps(body, sort_keys=True, separators=(",", ":"))
+        expected = hashlib.sha256(canonical.encode()).hexdigest()
+        if digest != expected:
+            problems.append(
+                f"digest {digest[:12]}... does not match the content "
+                f"({expected[:12]}...): the artifact was edited after freezing"
+            )
+    return problems
+
+
+_EVAL_PROFILE_FLOATS = ("energy_j", "mean_drift_m")
+_EVAL_PROFILE_INTS = ("windows_served", "windows_shed", "deadline_misses", "errors")
+
+
+def validate_policy_eval(data: object) -> list[str]:
+    """All schema problems of one ``POLICY_EVAL.json`` (empty = valid)."""
+    problems: list[str] = []
+    if not isinstance(data, dict):
+        return [f"report must be a JSON object, got {type(data).__name__}"]
+    schema = data.get("schema")
+    if not isinstance(schema, str) or not schema.startswith(
+        POLICY_EVAL_SCHEMA_PREFIX
+    ):
+        problems.append(
+            f"schema must be a string starting with "
+            f"{POLICY_EVAL_SCHEMA_PREFIX!r}, got {schema!r}"
+        )
+    if not isinstance(data.get("passed"), bool):
+        problems.append("missing boolean 'passed' verdict")
+    policy = data.get("policy")
+    if not isinstance(policy, dict) or not policy.get("name"):
+        problems.append("'policy' must be an object naming the frozen artifact")
+    elif not isinstance(policy.get("digest"), str):
+        problems.append("'policy' must carry the artifact digest")
+
+    profiles = data.get("profiles")
+    if not isinstance(profiles, list) or not profiles:
+        problems.append("'profiles' must be a non-empty list")
+        profiles = []
+    all_dominated = True
+    for index, entry in enumerate(profiles):
+        if not isinstance(entry, dict):
+            problems.append(f"profile entry {index} is not an object")
+            continue
+        if not isinstance(entry.get("profile"), str) or not entry.get("profile"):
+            problems.append(f"profile entry {index} missing 'profile' name")
+        if not isinstance(entry.get("dominates"), bool):
+            problems.append(f"profile entry {index} missing boolean 'dominates'")
+        elif not entry["dominates"]:
+            all_dominated = False
+        for side in ("baseline", "learned"):
+            block = entry.get(side)
+            if not isinstance(block, dict):
+                problems.append(f"profile entry {index} missing {side!r} metrics")
+                continue
+            for key in _EVAL_PROFILE_FLOATS:
+                if not _is_number(block.get(key)):
+                    problems.append(
+                        f"profile entry {index} {side} key {key!r} must be a number"
+                    )
+            for key in _EVAL_PROFILE_INTS:
+                value = block.get(key)
+                if not isinstance(value, int) or isinstance(value, bool):
+                    problems.append(
+                        f"profile entry {index} {side} key {key!r} must be an int"
+                    )
+    if (
+        isinstance(data.get("passed"), bool)
+        and profiles
+        and data["passed"] != all_dominated
+    ):
+        problems.append(
+            f"aggregate passed={data['passed']} contradicts the profiles "
+            f"(all dominated={all_dominated})"
+        )
     return problems

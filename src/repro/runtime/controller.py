@@ -67,27 +67,54 @@ class RuntimeController:
     reconfig: ReconfigurationTable
     platform: FpgaPlatform = ZC706
     power_model: PowerModel = DEFAULT_POWER_MODEL
+    # The learned-control seam: a frozen ControllerPolicy
+    # (repro.runtime.policy) replaces table lookup + counter smoothing
+    # with its per-cap contextual-bandit heads. None keeps the paper's
+    # counter path bit-identical — the differential oracle the learned
+    # path is gated against. The policy object is frozen/shared-safe,
+    # so for_session() passes it through by reference.
+    policy: object | None = None
     decisions: list[WindowDecision] = field(default_factory=list)
     _counter: TwoBitSaturatingCounter = field(init=False, repr=False)
     _active: HardwareConfig = field(init=False, repr=False)
+    _drift_ewma: float = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
         self._counter = TwoBitSaturatingCounter(initial=MAX_ITERATIONS)
         self._active = self.reconfig.static_config
+        self._drift_ewma = 0.0
 
     def for_session(self) -> "RuntimeController":
         """A fresh controller sharing this one's read-only tables.
 
         The returned instance has its own saturating counter, active
-        configuration, and decision log — the pattern for serving many
-        robots against one offline-solved memo.
+        configuration, drift estimate, and decision log — the pattern
+        for serving many robots against one offline-solved memo.
         """
         return RuntimeController(
             table=self.table,
             reconfig=self.reconfig,
             platform=self.platform,
             power_model=self.power_model,
+            policy=self.policy,
         )
+
+    @property
+    def drift_estimate(self) -> float:
+        """EWMA of the session's observed per-window drift [m] — the
+        learned policy's context feature. 0.0 until first observation."""
+        return self._drift_ewma
+
+    def observe_drift(self, drift_m: float) -> None:
+        """Feed one served window's drift back into the EWMA.
+
+        Called by the serving tier at completion-accounting time, which
+        is a deterministic point in virtual time — so the feature stream
+        (hence every learned decision) is identical across execution
+        backends and repeats.
+        """
+        alpha = getattr(self.policy, "drift_alpha", 0.2)
+        self._drift_ewma += alpha * (drift_m - self._drift_ewma)
 
     def iteration_policy(self, feature_count: int) -> int:
         """Adapter for the estimator's ``iteration_policy`` hook: applies
@@ -105,9 +132,19 @@ class RuntimeController:
         (floored at 1) — the serving tier's backpressure knob. The
         saturating counter is always fed the *undegraded* proposal, so a
         transient overload does not pollute the hysteresis state.
+
+        With a learned ``policy`` attached, the proposal comes from the
+        policy's contextual iteration head (feature count + this
+        session's drift EWMA) and the counter is bypassed: the policy's
+        continuous heads do their own smoothing, and feeding its output
+        through the counter would re-introduce the very lag the learned
+        path exists to remove.
         """
-        proposal = self.table.lookup(feature_count)
-        applied = self._counter.update(proposal)
+        if self.policy is not None:
+            applied = self.policy.iteration_cap(feature_count, self._drift_ewma)
+        else:
+            proposal = self.table.lookup(feature_count)
+            applied = self._counter.update(proposal)
         if degrade > 0:
             applied = max(1, applied - degrade)
         config = self.reconfig.lookup(applied)

@@ -28,10 +28,17 @@ def _features(count: float) -> np.ndarray:
 
 @dataclass(frozen=True)
 class LearnedIterationPolicy:
-    """Ridge regression from window features to required iterations."""
+    """Ridge regression from window features to required iterations.
+
+    ``fallback_windows`` counts the training windows where *no* profiled
+    cap met the accuracy target — windows whose label was clamped to
+    ``MAX_ITERATIONS`` instead of silently mislabeled (see
+    :func:`train_iteration_policy`'s ``on_unreachable``).
+    """
 
     weights: np.ndarray
     accuracy_target: float
+    fallback_windows: int = 0
 
     def predict(self, feature_count: int) -> int:
         """Conservatively ceiled, clamped prediction."""
@@ -46,6 +53,7 @@ def train_iteration_policy(
     profile: dict[int, list[tuple[int, float]]],
     accuracy_target: float | None = None,
     ridge: float = 1e-3,
+    on_unreachable: str = "clamp",
 ) -> LearnedIterationPolicy:
     """Fit the policy from profiling data.
 
@@ -53,15 +61,31 @@ def train_iteration_policy(
     iteration cap whose error meets the accuracy target (default: 110%
     of the error the maximum cap achieves on that window).
 
+    A window where *no* profiled cap meets the target has no honest
+    label. ``on_unreachable`` makes the fallback explicit:
+
+    * ``"clamp"`` (default) — label the window ``MAX_ITERATIONS`` (ask
+      for everything the hardware has) and count it in the returned
+      policy's ``fallback_windows``;
+    * ``"raise"`` — refuse to train, with a typed
+      :class:`~repro.errors.ConfigurationError` naming how many windows
+      were unreachable (for callers that treat an unreachable target as
+      a profiling bug).
+
     Args:
         profile: cap -> [(feature_count, error), ...] as produced by
             :func:`repro.runtime.profiler.profile_accuracy_vs_iterations`.
         accuracy_target: absolute error target [m]; None derives a
             per-window relative target.
         ridge: L2 regularization strength.
+        on_unreachable: ``"clamp"`` or ``"raise"`` (see above).
     """
     if not profile:
         raise ConfigurationError("profile must not be empty")
+    if on_unreachable not in ("clamp", "raise"):
+        raise ConfigurationError(
+            f"on_unreachable must be 'clamp' or 'raise', got {on_unreachable!r}"
+        )
     caps = sorted(profile)
     max_cap = caps[-1]
     num_windows = len(profile[max_cap])
@@ -69,18 +93,28 @@ def train_iteration_policy(
         raise ConfigurationError("profile caps cover different window sets")
 
     rows, labels = [], []
+    fallback_windows = 0
     for w in range(num_windows):
         count, reference_error = profile[max_cap][w]
         target = (
             accuracy_target if accuracy_target is not None else reference_error * 1.10
         )
-        needed = max_cap
+        needed = None
         for cap in caps:
             if profile[cap][w][1] <= target:
                 needed = cap
                 break
+        if needed is None:
+            fallback_windows += 1
+            needed = MAX_ITERATIONS
         rows.append(_features(count))
         labels.append(float(needed))
+    if fallback_windows and on_unreachable == "raise":
+        raise ConfigurationError(
+            f"{fallback_windows} of {num_windows} profiled windows meet the "
+            f"accuracy target at no cap in {tuple(caps)}; loosen the target "
+            "or profile higher caps"
+        )
     design = np.vstack(rows)
     target_vec = np.asarray(labels)
     gram = design.T @ design + ridge * np.eye(design.shape[1])
@@ -88,4 +122,5 @@ def train_iteration_policy(
     return LearnedIterationPolicy(
         weights=weights,
         accuracy_target=accuracy_target if accuracy_target is not None else -1.0,
+        fallback_windows=fallback_windows,
     )

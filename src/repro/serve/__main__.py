@@ -61,6 +61,14 @@ def build_parser() -> argparse.ArgumentParser:
         "deploy its mixed configs across the instances",
     )
     parser.add_argument(
+        "--policy",
+        metavar="SOURCE",
+        help="learned runtime control: a frozen POLICY.json artifact "
+        "path, or a registered train-spec name (e.g. 'default') "
+        "resolved through the engine cache; omit for the 2-bit counter "
+        "+ fixed-regime baseline",
+    )
+    parser.add_argument(
         "--route",
         choices=("fifo", "marginal"),
         help="dispatch policy: FIFO pool (baseline) or config-aware "
@@ -163,6 +171,7 @@ def _apply_overrides(profile, args):
         "portfolio": args.portfolio,
         "route": args.route,
         "reconfig_after": args.reconfig_after,
+        "policy": args.policy,
     }
     overrides = {k: v for k, v in overrides.items() if v is not None}
     return dataclasses.replace(profile, **overrides) if overrides else profile

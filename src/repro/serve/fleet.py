@@ -452,7 +452,11 @@ def merge_shard_metrics(
         # is the merged "configs" list above (and the per-shard solutions
         # under "shards"), so only the forecast name is lifted here.
         "portfolio": {"name": first["portfolio"]["name"]},
+        # Every shard resolves the same frozen artifact (the profile
+        # names it), so lifting the first shard's identity is exact.
+        "policy": first.get("policy", {"name": ""}),
         "scheduler": {
+            "submitted": sum(m["scheduler"]["submitted"] for m in shard_metrics),
             "accepted": sum(m["scheduler"]["accepted"] for m in shard_metrics),
             "degraded": sum(m["scheduler"]["degraded"] for m in shard_metrics),
             "shed": sum(m["scheduler"]["shed"] for m in shard_metrics),

@@ -57,6 +57,13 @@ class LoadProfile:
     route: str = "fifo"  # "fifo" | "marginal"
     portfolio_configs: int = 0  # cap on distinct configs (0 = solver default)
     reconfig_after: int = 0  # drift batches before a swap (0 = never)
+    # Learned runtime control (repro.runtime.policy). "" keeps the 2-bit
+    # counter + fixed admission regimes; a "*.json" path loads a frozen
+    # POLICY.json artifact; any other name resolves a registered
+    # PolicyTrainSpec through the engine's content-addressed POLICY
+    # stage. Either way the weights are frozen before the run starts, so
+    # the profile + artifact still fully determine the metrics.
+    policy: str = ""
     seed: int = 0
 
     # Validation names the offending field so a bad override in a CLI
@@ -107,6 +114,10 @@ class LoadProfile:
             from repro.portfolio import resolve_forecast
 
             resolve_forecast(self.portfolio)  # raises with did-you-mean
+        if self.policy and not self.policy.endswith(".json"):
+            from repro.runtime.policy import resolve_policy_spec
+
+            resolve_policy_spec(self.policy)  # raises with did-you-mean
         if self.portfolio_configs < 0:
             raise ConfigurationError(
                 f"portfolio_configs must be >= 0, got {self.portfolio_configs}"

@@ -150,6 +150,7 @@ class LocalizationService:
         workers: int | None = None,
         session_ids: tuple[int, ...] | None = None,
         shard_id: int | None = None,
+        decision_log: list | None = None,
     ) -> None:
         if backend == "process" and fidelity == "functional":
             raise ConfigurationError(
@@ -174,6 +175,11 @@ class LocalizationService:
         if not self.session_ids:
             raise ConfigurationError("a service needs at least one session id")
         self.shard_id = shard_id
+        # Optional admission-feature log (policy training's teacher
+        # data). Observing is free of side effects on the run itself:
+        # the features are computed either way, and the log is never
+        # part of the exported metrics.
+        self._decision_log = decision_log
         self._event_seq = 0
         self._request_seq = 0
         self._events: list[tuple[float, int, str, int]] = []
@@ -189,9 +195,20 @@ class LocalizationService:
         design = named_design(profile.design, self.engine)
         reconfig = design_reconfiguration(profile.design, self.engine)
         table = IterationTable()
+        # Learned runtime control: resolve the profile's frozen policy
+        # artifact (or train it through the content-addressed POLICY
+        # stage) before the clock starts — the weights are read-only for
+        # the whole run, shared across sessions and the scheduler.
+        self.policy = None
+        if profile.policy:
+            from repro.runtime.policy import load_policy
+
+            self.policy = load_policy(profile.policy, engine=self.engine)
         # One prototype controller holds the shared read-only tables;
         # every session forks its own counter state from it.
-        prototype = RuntimeController(table=table, reconfig=reconfig)
+        prototype = RuntimeController(
+            table=table, reconfig=reconfig, policy=self.policy
+        )
         self.static_config = design.config
         self.reconfig = reconfig
 
@@ -253,7 +270,14 @@ class LocalizationService:
             max_queue=profile.max_queue,
             backpressure=profile.backpressure,
             batch_size=profile.batch_size,
+            policy=self.policy,
         )
+        # Latency-SLO headroom state: an EWMA of served-window service
+        # seconds, updated at completion accounting (virtual-time
+        # ordered, so the learned admission features — and therefore the
+        # decisions — are backend- and repeat-invariant).
+        self._service_time_ewma = 0.0
+        self._windows_accounted = 0
         self.telemetry = Telemetry()
         # All spans are stamped with virtual times from the (single
         # threaded) event loop, so the trace is byte-identical across
@@ -374,8 +398,31 @@ class LocalizationService:
     # Pump: admission control + submission
     # ------------------------------------------------------------------
 
+    _SERVICE_EWMA_ALPHA = 0.2
+
+    def _slo_headroom(self) -> float:
+        """Fraction of the deadline budget left at the recent
+        service-time EWMA (1 = untouched, <= 0 = the EWMA alone already
+        eats the whole per-window deadline)."""
+        if self._windows_accounted == 0:
+            return 1.0
+        return 1.0 - self._service_time_ewma / self.profile.deadline_s
+
+    def _account_service(self, session: Session, service_s: float, drift_m: float) -> None:
+        """Fold one served window into the learned-control features.
+
+        Runs at completion-accounting time on the event-loop thread —
+        a deterministic point in the virtual-time total order.
+        """
+        self._service_time_ewma += self._SERVICE_EWMA_ALPHA * (
+            service_s - self._service_time_ewma
+        )
+        self._windows_accounted += 1
+        session.controller.observe_drift(drift_m)
+
     def _pump(self, t: float) -> None:
         profile = self.profile
+        headroom = self._slo_headroom()
         for session in self.sessions.values():
             if session.state is not SessionState.READY:
                 # Backlog trimming below must wait too: frames have to
@@ -393,7 +440,18 @@ class LocalizationService:
                 self._backend.shed(session.session_id, frame_id)
                 self.scheduler.record_shed()
                 self.telemetry.record_shed(metrics, t)
-            admission = self.scheduler.admit()
+            drift = session.controller.drift_estimate
+            admission = self.scheduler.admit(headroom=headroom, drift=drift)
+            if self._decision_log is not None:
+                self._decision_log.append(
+                    {
+                        "queue_frac": len(self.scheduler) / profile.max_queue,
+                        "band_frac": profile.backpressure / profile.max_queue,
+                        "headroom": headroom,
+                        "drift": drift,
+                        "action": admission.value,
+                    }
+                )
             frame_id, ready_time = session.take_pending()
             if admission is Admission.SHED:
                 self._backend.shed(session.session_id, frame_id)
@@ -531,6 +589,9 @@ class LocalizationService:
                     config_id=instance.config_id,
                     service_s=charge.total_s,
                 )
+                self._account_service(
+                    session, charge.total_s, outcome.newest_position_error
+                )
                 instance.occupy(cursor, charge.total_s)
                 cursor = completion
                 self._push_event(completion, _COMPLETE, session.session_id)
@@ -644,6 +705,9 @@ class LocalizationService:
                 config_id=instance.config_id,
                 service_s=charge.total_s,
             )
+            self._account_service(
+                session, charge.total_s, outcome.newest_position_error
+            )
             instance.occupy(cursor, charge.total_s)
             cursors[instance.instance_id] = completion
             batches[instance.instance_id].append((request, outcome))
@@ -741,6 +805,18 @@ class LocalizationService:
             "nm": self.static_config.nm,
             "s": self.static_config.s,
         }
+        # The learned runtime policy in force (empty name = the 2-bit
+        # counter + fixed-regime baseline). The digest pins exactly
+        # which frozen weights produced these numbers.
+        metrics["policy"] = (
+            {
+                "name": self.policy.name,
+                "digest": self.policy.digest,
+                "source": self.profile.policy,
+            }
+            if self.policy is not None
+            else {"name": ""}
+        )
         # The solved fleet portfolio (empty name = homogeneous pool).
         # PortfolioSolution.as_dict() holds no timing fields, so this
         # stays byte-identical across repeats and backends.

@@ -11,6 +11,11 @@ grid: every oracle x every scenario x every named design point
 (:data:`repro.testing.oracles.DESIGN_POINTS`), written as the per-cell
 ``SCENARIOS.json`` artifact (validate with
 ``python -m repro.obs validate SCENARIOS.json``).
+
+``--policy-eval`` runs the learned-controller differential eval
+instead: the frozen runtime policy must Pareto-dominate the counter +
+fixed-regime baseline on the drift-vs-energy plane for every eval
+profile (writes ``POLICY_EVAL.json`` and the frozen ``POLICY.json``).
 """
 
 from __future__ import annotations
@@ -53,6 +58,27 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="NAME",
         help="restrict the --scenarios grid to one scenario (repeatable); "
         f"default: {list(DEFAULT_MATRIX_SCENARIOS)}",
+    )
+    parser.add_argument(
+        "--policy-eval",
+        action="store_true",
+        help="run the learned-controller differential eval instead of the "
+        "conformance matrix (writes POLICY_EVAL.json + POLICY.json)",
+    )
+    parser.add_argument(
+        "--policy",
+        default="default",
+        metavar="SOURCE",
+        help="policy for --policy-eval: a registered PolicyTrainSpec name "
+        "(trained through the engine) or a frozen *.json artifact path "
+        "(default: %(default)s)",
+    )
+    parser.add_argument(
+        "--policy-artifact",
+        default="POLICY.json",
+        metavar="PATH",
+        help="where --policy-eval freezes the policy artifact the learned "
+        "runs load (default: %(default)s)",
     )
     parser.add_argument(
         "--oracle",
@@ -104,13 +130,25 @@ def main(argv: list[str]) -> int:
     if args.scenario and not args.scenarios:
         print("error: --scenario requires --scenarios", file=sys.stderr)
         return 2
+    if args.policy_eval and args.scenarios:
+        print("error: --policy-eval and --scenarios are exclusive", file=sys.stderr)
+        return 2
     engine = None
     if args.cache:
         from repro.engine.engine import Engine
 
         engine = Engine(use_disk=True, jobs=args.jobs)
     try:
-        if args.scenarios:
+        if args.policy_eval:
+            from repro.testing.policy_eval import run_policy_eval
+
+            run = run_policy_eval(
+                policy=args.policy,
+                policy_output=args.policy_artifact,
+                engine=engine,
+            )
+            output = args.output or "POLICY_EVAL.json"
+        elif args.scenarios:
             run = run_scenario_matrix(
                 scenarios=tuple(args.scenario) if args.scenario else None,
                 oracle_names=tuple(args.oracle) if args.oracle else None,

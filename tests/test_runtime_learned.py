@@ -57,6 +57,29 @@ class TestTraining:
         policy = train_iteration_policy(synthetic_profile())
         assert policy(100) == policy.predict(100)
 
+    def test_reachable_targets_have_no_fallback_windows(self):
+        policy = train_iteration_policy(synthetic_profile())
+        assert policy.fallback_windows == 0
+
+    def test_unreachable_target_clamps_and_counts(self):
+        """A target below every profiled error has no honest label; the
+        default fallback asks for everything and says it did so."""
+        policy = train_iteration_policy(
+            synthetic_profile(), accuracy_target=1e-9
+        )
+        assert policy.fallback_windows == 120
+        assert policy.predict(60) == MAX_ITERATIONS
+
+    def test_unreachable_target_can_raise_instead(self):
+        with pytest.raises(ConfigurationError, match="120 of 120 profiled"):
+            train_iteration_policy(
+                synthetic_profile(), accuracy_target=1e-9, on_unreachable="raise"
+            )
+
+    def test_bogus_fallback_mode_is_rejected(self):
+        with pytest.raises(ConfigurationError, match="on_unreachable"):
+            train_iteration_policy(synthetic_profile(), on_unreachable="ignore")
+
 
 class TestIntegrationWithEstimator:
     def test_policy_plugs_into_estimator(self):

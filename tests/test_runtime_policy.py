@@ -1,0 +1,426 @@
+"""Tests for the learned runtime controller (``repro.runtime.policy``).
+
+Covers the frozen-artifact contract (pickle/JSON/digest round-trips,
+tamper detection), decision determinism (Hypothesis: decisions are pure
+functions of features and weights, bounded by the frozen caps/actions),
+the scheduler's learned-admission band semantics, the controller's
+counter bypass, and end-to-end serve byte-identity across execution
+backends and repeats given one frozen ``POLICY.json``.
+"""
+
+import json
+import pickle
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, ServeError
+from repro.runtime.policy import (
+    ADMISSION_ACTIONS,
+    ControllerPolicy,
+    PolicyTrainSpec,
+    admission_features,
+    fit_admission_heads,
+    fit_error_heads,
+    iteration_features,
+    load_policy,
+    resolve_policy_spec,
+    ridge_fit,
+)
+from repro.runtime.profiler import MAX_ITERATIONS
+from repro.serve import Admission, Scheduler
+
+
+def tiny_policy(**overrides):
+    """A hand-built policy with legible decisions.
+
+    Error heads are constant per cap and decreasing, so without the
+    drift feature the argmin lands on the middle cap once the energy
+    price is added; admission heads score on queue fraction alone
+    (accept when near-empty, shed when near-full).
+    """
+    base = dict(
+        name="tiny",
+        caps=(1, 2, 4),
+        error_heads=(
+            (0.30, 0.0, 0.0, 0.0, 0.0),
+            (0.05, 0.0, 0.0, 0.0, 0.5),
+            (0.04, 0.0, 0.0, 0.0, 0.0),
+        ),
+        admission_heads=(
+            (1.0, -2.0, 0.0, 0.0, 0.0, 0.0),
+            (0.2, 1.0, 0.0, 0.0, 0.0, 0.0),
+            (-1.0, 3.0, 0.0, 0.0, 0.0, 0.0),
+        ),
+        energy_weight=0.01,
+    )
+    base.update(overrides)
+    return ControllerPolicy(**base)
+
+
+class TestControllerPolicyContract:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError, match="at least one"):
+            tiny_policy(caps=(), error_heads=())
+        with pytest.raises(ConfigurationError, match="strictly increasing"):
+            tiny_policy(caps=(2, 2, 4))
+        with pytest.raises(ConfigurationError, match="must lie in"):
+            tiny_policy(caps=(1, 2, MAX_ITERATIONS + 1))
+        with pytest.raises(ConfigurationError, match="error heads"):
+            tiny_policy(caps=(1, 2))
+        with pytest.raises(ConfigurationError, match="one head per action"):
+            tiny_policy(admission_heads=((1.0, 0.0, 0.0, 0.0, 0.0, 0.0),))
+        with pytest.raises(ConfigurationError, match="error heads must match"):
+            tiny_policy(
+                error_heads=((0.3, 0.0), (0.05, 0.0), (0.04, 0.0))
+            )
+        with pytest.raises(ConfigurationError, match="admission heads must match"):
+            tiny_policy(
+                admission_heads=(
+                    (1.0, -2.0, 0.0, 0.0, 0.0),
+                    (0.2, 1.0, 0.0, 0.0, 0.0),
+                    (-1.0, 3.0, 0.0, 0.0, 0.0),
+                )
+            )
+        with pytest.raises(ConfigurationError, match="energy_weight"):
+            tiny_policy(energy_weight=-0.1)
+        with pytest.raises(ConfigurationError, match="drift_alpha"):
+            tiny_policy(drift_alpha=0.0)
+
+    def test_pickle_round_trip_is_exact(self):
+        policy = tiny_policy()
+        clone = pickle.loads(pickle.dumps(policy))
+        assert clone == policy
+        assert clone.digest == policy.digest
+
+    def test_json_round_trip_is_exact(self, tmp_path):
+        policy = tiny_policy(trained_on=("smoke", "steady"))
+        path = policy.save(tmp_path / "POLICY.json")
+        clone = ControllerPolicy.load(path)
+        assert clone == policy
+        assert clone.digest == policy.digest
+
+    def test_digest_tracks_content(self):
+        assert tiny_policy().digest == tiny_policy().digest
+        assert tiny_policy().digest != tiny_policy(energy_weight=0.02).digest
+
+    def test_tampered_artifact_is_rejected(self, tmp_path):
+        path = tiny_policy().save(tmp_path / "POLICY.json")
+        data = json.loads(path.read_text())
+        data["energy_weight"] = 123.0
+        path.write_text(json.dumps(data))
+        with pytest.raises(ConfigurationError, match="digest mismatch"):
+            ControllerPolicy.load(path)
+
+    def test_non_policy_json_is_rejected(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"schema": "repro.scenarios/v1"}))
+        with pytest.raises(ConfigurationError, match="not a policy artifact"):
+            ControllerPolicy.load(path)
+
+    def test_load_policy_dispatch(self, tmp_path):
+        path = tiny_policy().save(tmp_path / "POLICY.json")
+        assert load_policy(str(path)) == tiny_policy()
+        with pytest.raises(ConfigurationError, match="must end in .json"):
+            load_policy(str(tmp_path / "POLICY"))
+        with pytest.raises(ConfigurationError, match="unknown policy spec"):
+            resolve_policy_spec("defualt")
+
+    def test_spec_validation(self):
+        with pytest.raises(ConfigurationError):
+            PolicyTrainSpec(profiles=())
+        with pytest.raises(ConfigurationError):
+            PolicyTrainSpec(caps=(3, 1))
+        with pytest.raises(ConfigurationError):
+            PolicyTrainSpec(ridge=0.0)
+
+
+class TestDecisionProperties:
+    @given(
+        count=st.integers(min_value=0, max_value=5000),
+        drift=st.floats(
+            min_value=-10.0, max_value=10.0, allow_nan=False, allow_infinity=False
+        ),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_iteration_cap_bounded_and_deterministic(self, count, drift):
+        policy = tiny_policy()
+        cap = policy.iteration_cap(count, drift)
+        assert cap in policy.caps
+        assert cap == policy.iteration_cap(count, drift)
+        assert cap == pickle.loads(pickle.dumps(policy)).iteration_cap(count, drift)
+
+    @given(
+        queue_frac=st.floats(
+            min_value=-1.0, max_value=2.0, allow_nan=False, allow_infinity=False
+        ),
+        headroom=st.floats(
+            min_value=-5.0, max_value=5.0, allow_nan=False, allow_infinity=False
+        ),
+        drift=st.floats(
+            min_value=-10.0, max_value=10.0, allow_nan=False, allow_infinity=False
+        ),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_admission_bounded_and_deterministic(self, queue_frac, headroom, drift):
+        policy = tiny_policy()
+        action = policy.admission(queue_frac, 0.25, headroom, drift)
+        assert action in ADMISSION_ACTIONS
+        assert action == policy.admission(queue_frac, 0.25, headroom, drift)
+
+    def test_features_are_clipped(self):
+        assert iteration_features(50, 99.0)[-1] == 1.0
+        assert iteration_features(50, -1.0)[-1] == 0.0
+        assert admission_features(2.0, 0.5, -9.0, 42.0) == (
+            1.0, 1.0, 1.0, 0.5, -1.0, 1.0,
+        )
+
+    def test_drift_raises_the_chosen_cap(self):
+        """The cap-2 head prices drift in; diverging sessions escalate."""
+        policy = tiny_policy()
+        assert policy.iteration_cap(100, drift_m=0.0) == 2
+        assert policy.iteration_cap(100, drift_m=0.5) == 4
+
+
+class TestFitHelpers:
+    def test_ridge_fit_recovers_linear_targets(self):
+        rows = [(1.0, float(i), float(i * i % 7)) for i in range(30)]
+        targets = [2.0 * x[0] - 0.5 * x[1] + 0.25 * x[2] for x in rows]
+        weights = ridge_fit(rows, targets, ridge=1e-9)
+        assert weights == pytest.approx((2.0, -0.5, 0.25), abs=1e-6)
+
+    def test_ridge_fit_is_deterministic(self):
+        rows = [(1.0, float(i) / 3.0) for i in range(20)]
+        targets = [0.1 * i for i in range(20)]
+        assert ridge_fit(rows, targets, 1e-3) == ridge_fit(rows, targets, 1e-3)
+
+    def test_ridge_fit_rejects_empty_and_singular(self):
+        with pytest.raises(ConfigurationError, match="at least one sample"):
+            ridge_fit([], [], 1e-3)
+        with pytest.raises(ConfigurationError, match="singular"):
+            ridge_fit([(0.0, 0.0)], [1.0], ridge=0.0)
+
+    def test_fit_error_heads_one_per_cap(self):
+        samples = {
+            cap: [(iteration_features(n, 0.0), 1.0 / cap) for n in (10, 50, 200)]
+            for cap in (1, 2)
+        }
+        heads = fit_error_heads(samples, (1, 2), ridge=1e-3)
+        assert len(heads) == 2
+        assert all(len(head) == 5 for head in heads)
+
+    def test_fit_admission_heads_clone_a_separable_teacher(self):
+        log = []
+        for depth in range(100):
+            frac = depth / 100.0
+            action = "accept" if frac < 0.3 else "degrade" if frac < 0.8 else "shed"
+            log.append(
+                {
+                    "queue_frac": frac,
+                    "band_frac": 0.3,
+                    "headroom": 1.0,
+                    "drift": 0.0,
+                    "action": action,
+                }
+            )
+        heads = fit_admission_heads(log, ridge=1e-6)
+        policy = tiny_policy(admission_heads=heads)
+        assert policy.admission(0.1, 0.3, 1.0, 0.0) == "accept"
+        assert policy.admission(0.5, 0.3, 1.0, 0.0) == "degrade"
+        assert policy.admission(0.95, 0.3, 1.0, 0.0) == "shed"
+
+    def test_fit_admission_heads_need_samples(self):
+        with pytest.raises(ConfigurationError, match="logged decisions"):
+            fit_admission_heads([], ridge=1e-3)
+
+
+class TestSchedulerPolicyBand:
+    def shed_happy_policy(self):
+        """A policy whose admission head always says shed."""
+        return tiny_policy(
+            admission_heads=(
+                (-1.0, 0.0, 0.0, 0.0, 0.0, 0.0),
+                (-1.0, 0.0, 0.0, 0.0, 0.0, 0.0),
+                (1.0, 0.0, 0.0, 0.0, 0.0, 0.0),
+            )
+        )
+
+    def test_policy_decides_inside_the_band(self):
+        scheduler = Scheduler(max_queue=8, backpressure=0, policy=tiny_policy())
+        assert scheduler.admit() is Admission.ACCEPT
+
+    def test_hard_bound_overrides_the_policy(self):
+        accept_happy = tiny_policy(
+            admission_heads=(
+                (1.0, 0.0, 0.0, 0.0, 0.0, 0.0),
+                (-1.0, 0.0, 0.0, 0.0, 0.0, 0.0),
+                (-1.0, 0.0, 0.0, 0.0, 0.0, 0.0),
+            )
+        )
+        scheduler = Scheduler(max_queue=3, backpressure=0, policy=accept_happy)
+        for seq in range(3):
+            assert scheduler.admit() is Admission.ACCEPT
+            scheduler.push(TestSchedulerCounters().make_request(seq))
+        assert scheduler.admit() is Admission.SHED
+
+    def test_learned_shed_below_backpressure_demotes_to_degrade(self):
+        scheduler = Scheduler(
+            max_queue=8, backpressure=4, policy=self.shed_happy_policy()
+        )
+        assert scheduler.admit() is Admission.DEGRADE
+
+
+class TestSchedulerCounters:
+    def make_request(self, seq, degraded=False):
+        from repro.serve.session import WindowRequest
+
+        return WindowRequest(
+            session_id=0,
+            frame_id=seq,
+            ready_time=0.0,
+            deadline=1.0,
+            iterations=4,
+            config=None,
+            reconfigured=False,
+            degraded=degraded,
+            seq=seq,
+        )
+
+    def test_negative_backpressure_is_a_typed_error(self):
+        with pytest.raises(ServeError, match="backpressure threshold must be >= 0"):
+            Scheduler(max_queue=4, backpressure=-1)
+
+    def test_counters_partition_submissions(self):
+        scheduler = Scheduler(max_queue=8, backpressure=2)
+        scheduler.push(self.make_request(1))
+        scheduler.push(self.make_request(2))
+        scheduler.push(self.make_request(3, degraded=True))
+        scheduler.record_shed()
+        counts = scheduler.as_dict()
+        assert counts["accepted"] == 2
+        assert counts["degraded"] == 1
+        assert counts["shed"] == 1
+        assert counts["submitted"] == 4
+        assert (
+            counts["accepted"] + counts["degraded"] + counts["shed"]
+            == counts["submitted"]
+        )
+
+    def test_degraded_pushes_do_not_count_as_accepted(self):
+        scheduler = Scheduler(max_queue=8, backpressure=0)
+        scheduler.push(self.make_request(1, degraded=True))
+        assert scheduler.accepted == 0
+        assert scheduler.degraded == 1
+
+
+class TestControllerBypass:
+    @pytest.fixture(scope="class")
+    def reconfig(self):
+        from repro.runtime.reconfig import build_reconfiguration_table
+        from repro.synth import high_perf_design
+
+        result = high_perf_design()
+        return build_reconfiguration_table(result.config, result.spec)
+
+    def make_controller(self, reconfig, policy=None):
+        from repro.runtime.controller import RuntimeController
+        from repro.runtime.profiler import IterationTable
+
+        return RuntimeController(
+            table=IterationTable(), reconfig=reconfig, policy=policy
+        )
+
+    def test_policy_bypasses_the_counter(self, reconfig):
+        controller = self.make_controller(reconfig, policy=tiny_policy())
+        applied, _, _ = controller.decide(100)
+        assert applied == tiny_policy().iteration_cap(100, 0.0)
+        # The counter still sits at its initial value: the learned path
+        # must not have fed it at all.
+        assert controller._counter.current == MAX_ITERATIONS
+        assert controller._counter.transitions == 0
+
+    def test_drift_ewma_feeds_the_policy(self, reconfig):
+        controller = self.make_controller(reconfig, policy=tiny_policy())
+        assert controller.drift_estimate == 0.0
+        for _ in range(40):
+            controller.observe_drift(1.0)
+        assert controller.drift_estimate == pytest.approx(1.0, abs=1e-3)
+        applied, _, _ = controller.decide(100)
+        assert applied == 4  # escalated by the drift feature
+
+    def test_for_session_shares_the_policy_but_not_the_ewma(self, reconfig):
+        controller = self.make_controller(reconfig, policy=tiny_policy())
+        controller.observe_drift(0.9)
+        fresh = controller.for_session()
+        assert fresh.policy is controller.policy
+        assert fresh.drift_estimate == 0.0
+
+    def test_degrade_still_applies_on_top_of_the_policy(self, reconfig):
+        controller = self.make_controller(reconfig, policy=tiny_policy())
+        baseline, _, _ = controller.for_session().decide(100)
+        degraded, _, _ = controller.decide(100, degrade=1)
+        assert degraded == baseline - 1
+
+
+class TestServeIntegration:
+    def run_profile(self, tmp_path, backend="thread", policy_path=None):
+        from repro.engine import Engine
+        from repro.serve import LoadProfile, LocalizationService
+
+        profile = LoadProfile(
+            name="mini-policy",
+            num_sessions=3,
+            num_instances=2,
+            rate_hz=8.0,
+            duration_s=1.5,
+            sequence_duration_s=2.0,
+            seed=7,
+            policy=str(policy_path) if policy_path else "",
+        )
+        service = LocalizationService(
+            profile, engine=Engine(use_disk=False), backend=backend
+        )
+        return service.run()
+
+    def test_frozen_artifact_is_byte_identical_across_backends(self, tmp_path):
+        path = tiny_policy().save(tmp_path / "POLICY.json")
+        thread = self.run_profile(tmp_path, "thread", path)
+        again = self.run_profile(tmp_path, "thread", path)
+        process = self.run_profile(tmp_path, "process", path)
+        blob = json.dumps(thread.metrics, sort_keys=True)
+        assert blob == json.dumps(again.metrics, sort_keys=True)
+        assert blob == json.dumps(process.metrics, sort_keys=True)
+
+    def test_metrics_carry_the_policy_identity(self, tmp_path):
+        path = tiny_policy().save(tmp_path / "POLICY.json")
+        report = self.run_profile(tmp_path, "thread", path)
+        assert report.metrics["policy"]["name"] == "tiny"
+        assert report.metrics["policy"]["digest"] == tiny_policy().digest
+        baseline = self.run_profile(tmp_path, "thread", None)
+        assert baseline.metrics["policy"] == {"name": ""}
+
+    def test_scheduler_invariant_holds_in_metrics(self, tmp_path):
+        path = tiny_policy().save(tmp_path / "POLICY.json")
+        for policy_path in (None, path):
+            counts = self.run_profile(tmp_path, "thread", policy_path).metrics[
+                "scheduler"
+            ]
+            assert (
+                counts["accepted"] + counts["degraded"] + counts["shed"]
+                == counts["submitted"]
+            )
+
+    def test_unknown_policy_spec_fails_at_profile_validation(self):
+        from repro.serve import LoadProfile
+
+        with pytest.raises(ConfigurationError, match="unknown policy spec"):
+            LoadProfile(
+                name="bad",
+                num_sessions=1,
+                num_instances=1,
+                rate_hz=4.0,
+                duration_s=1.0,
+                sequence_duration_s=1.5,
+                policy="no-such-spec",
+            )
